@@ -1,0 +1,112 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper. Each benchmark regenerates the artifact (printing its rows on the
+// first iteration with -v via b.Log) and reports the headline scalar as a
+// custom metric, so `go test -bench=.` doubles as a reproduction run.
+//
+// Benchmarks run at a reduced workload scale to keep iterations tractable;
+// the spbench command regenerates everything at full scale.
+package spcoh_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"spcoh/internal/experiments"
+	"spcoh/internal/stats"
+)
+
+var (
+	runnerOnce sync.Once
+	runner     *experiments.Runner
+)
+
+// benchRunner shares one result cache across all benchmarks in a run.
+func benchRunner(b *testing.B) *experiments.Runner {
+	b.Helper()
+	runnerOnce.Do(func() {
+		cfg := experiments.Quick()
+		if testing.Short() {
+			cfg.Scale = 0.1
+		}
+		runner = experiments.NewRunner(cfg)
+	})
+	return runner
+}
+
+// runExperiment regenerates one artifact b.N times (results are cached by
+// the runner after the first generation, so the benchmark measures the
+// harness cost while guaranteeing at least one full generation).
+func runExperiment(b *testing.B, id string) *stats.Table {
+	b.Helper()
+	r := benchRunner(b)
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		t = e.Run(r)
+	}
+	b.Log("\n" + t.String())
+	return t
+}
+
+func BenchmarkTable1(b *testing.B) { runExperiment(b, "table1") }
+
+func BenchmarkFig1(b *testing.B) {
+	t := runExperiment(b, "fig1")
+	reportLastAvg(b, t, 1, "comm-ratio")
+}
+
+func BenchmarkFig2(b *testing.B) { runExperiment(b, "fig2") }
+func BenchmarkFig4(b *testing.B) { runExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B) { runExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B) { runExperiment(b, "fig6") }
+
+func BenchmarkFig7(b *testing.B) {
+	t := runExperiment(b, "fig7")
+	reportLastAvg(b, t, 5, "accuracy-%")
+}
+
+func BenchmarkTable5(b *testing.B) { runExperiment(b, "table5") }
+
+func BenchmarkFig8(b *testing.B) {
+	t := runExperiment(b, "fig8")
+	reportLastAvg(b, t, 3, "sp-norm-latency")
+}
+
+func BenchmarkFig9(b *testing.B) {
+	t := runExperiment(b, "fig9")
+	reportLastAvg(b, t, 1, "sp-addl-bw-%")
+}
+
+func BenchmarkFig10(b *testing.B) {
+	t := runExperiment(b, "fig10")
+	reportLastAvg(b, t, 3, "sp-norm-exectime")
+}
+
+func BenchmarkFig11(b *testing.B) {
+	t := runExperiment(b, "fig11")
+	reportLastAvg(b, t, 2, "sp-norm-energy")
+}
+
+func BenchmarkFig12(b *testing.B) { runExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B) { runExperiment(b, "fig13") }
+
+// reportLastAvg reports the numeric cell at column col of the table's last
+// row (the "average" row) as a benchmark metric.
+func reportLastAvg(b *testing.B, t *stats.Table, col int, unit string) {
+	b.Helper()
+	if len(t.Rows) == 0 {
+		return
+	}
+	last := t.Rows[len(t.Rows)-1]
+	if col >= len(last) {
+		return
+	}
+	var v float64
+	if _, err := fmt.Sscan(last[col], &v); err == nil {
+		b.ReportMetric(v, unit)
+	}
+}

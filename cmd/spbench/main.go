@@ -1,0 +1,65 @@
+// Command spbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	spbench                  # every experiment, full scale
+//	spbench -only fig8,fig9  # a subset
+//	spbench -quick           # reduced workload scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"spcoh/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	quick := flag.Bool("quick", false, "reduced workload scale")
+	scale := flag.Float64("scale", 0, "explicit workload scale (overrides -quick)")
+	seed := flag.Int64("seed", 42, "workload build seed")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	if *scale > 0 {
+		cfg.Scale = *scale
+	}
+	cfg.Seed = *seed
+	r := experiments.NewRunner(cfg)
+
+	selected := experiments.All()
+	if *only != "" {
+		selected = nil
+		for _, id := range strings.Split(*only, ",") {
+			e, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		tab := e.Run(r)
+		tab.AddNote("generated in %.1fs at scale %.2f", time.Since(start).Seconds(), cfg.Scale)
+		tab.Render(os.Stdout)
+		fmt.Println()
+	}
+}

@@ -1,0 +1,120 @@
+// Command spsim runs one benchmark on one protocol/predictor configuration
+// and prints the measurements.
+//
+// Usage:
+//
+//	spsim -bench ocean -pred sp [-scale 0.2] [-seed 42] [-protocol dir|bcast]
+//	spsim -all -pred sp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spcoh/internal/arch"
+	"spcoh/internal/core"
+	"spcoh/internal/predictor"
+	"spcoh/internal/sim"
+	"spcoh/internal/stats"
+	"spcoh/internal/workload"
+)
+
+func buildPredictors(kind string, nodes int) ([]predictor.Predictor, error) {
+	switch kind {
+	case "", "none", "dir":
+		return nil, nil
+	case "sp":
+		return core.NewSystem(core.DefaultConfig(nodes)), nil
+	case "spfilter":
+		preds := core.NewSystem(core.DefaultConfig(nodes))
+		for i := range preds {
+			preds[i] = predictor.NewRegionFilter(preds[i])
+		}
+		return preds, nil
+	case "addr", "inst", "uni":
+		preds := make([]predictor.Predictor, nodes)
+		for i := range preds {
+			switch kind {
+			case "addr":
+				preds[i] = predictor.NewAddr(arch.NodeID(i), nodes)
+			case "inst":
+				preds[i] = predictor.NewInst(arch.NodeID(i), nodes)
+			case "uni":
+				preds[i] = predictor.NewUni(arch.NodeID(i), nodes)
+			}
+		}
+		return preds, nil
+	default:
+		return nil, fmt.Errorf("unknown predictor %q (none|sp|spfilter|addr|inst|uni)", kind)
+	}
+}
+
+func main() {
+	bench := flag.String("bench", "ocean", "benchmark name")
+	all := flag.Bool("all", false, "run every benchmark")
+	pred := flag.String("pred", "none", "predictor: none|sp|spfilter|addr|inst|uni")
+	proto := flag.String("protocol", "dir", "protocol: dir|bcast")
+	scale := flag.Float64("scale", 0.2, "workload scale factor")
+	seed := flag.Int64("seed", 42, "workload build seed")
+	flag.Parse()
+
+	names := []string{*bench}
+	if *all {
+		names = workload.Names()
+	}
+
+	tb := stats.NewTable("spsim: "+*proto+"/"+*pred,
+		"benchmark", "cycles", "misses", "comm%", "missLat", "commLat", "nonCommLat",
+		"acc%", "predTgt", "actTgt", "netKB", "energy")
+	for _, name := range names {
+		p, err := workload.ByName(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		prog := p.Build(16, *scale, *seed)
+		opt := sim.DefaultOptions()
+		if *proto == "bcast" {
+			opt.Protocol = sim.Broadcast
+		} else {
+			opt.Predictors, err = buildPredictors(*pred, 16)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		res, err := sim.Run(prog, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		row(tb, name, res)
+	}
+	tb.Render(os.Stdout)
+}
+
+func row(tb *stats.Table, name string, r *sim.Result) {
+	n := r.Nodes
+	commLat, nonCommLat := 0.0, 0.0
+	acc := 0.0
+	predTgt, actTgt := 0.0, 0.0
+	if r.Protocol == sim.Directory {
+		if n.Communicating > 0 {
+			commLat = float64(n.CommLatencySum) / float64(n.Communicating)
+			acc = 100 * n.Accuracy()
+		}
+		if n.NonCommunicating > 0 {
+			nonCommLat = float64(n.NonCommLatencySum) / float64(n.NonCommunicating)
+		}
+		if n.Predicted > 0 {
+			predTgt = float64(n.PredTargets) / float64(n.Predicted)
+		}
+		if n.Misses > 0 {
+			actTgt = float64(n.ActualTargets) / float64(n.Misses)
+		}
+	}
+	tb.AddRowf(name, uint64(r.Cycles), r.Misses(), 100*r.CommRatio(),
+		r.AvgMissLatency(), commLat, nonCommLat, acc, predTgt, actTgt,
+		r.Net.Bytes/1024, r.Energy.Total())
+}

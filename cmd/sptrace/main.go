@@ -1,0 +1,82 @@
+// Command sptrace inspects a binary trace written by spchar: a summary by
+// default, or a textual event dump with -dump.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"spcoh/internal/arch"
+	"spcoh/internal/stats"
+	"spcoh/internal/trace"
+)
+
+func main() {
+	dump := flag.Bool("dump", false, "print every event")
+	limit := flag.Int("n", 0, "stop after n events (0 = all)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sptrace [-dump] [-n N] <trace-file>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	r := trace.NewReader(f)
+	var misses, comm, syncs int
+	perNode := map[arch.NodeID]int{}
+	byKind := map[string]int{}
+	n := 0
+	for {
+		e, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		n++
+		switch e.Kind {
+		case trace.EvMiss:
+			misses++
+			perNode[e.Node]++
+			byKind[e.MissKind.String()]++
+			if e.Communicating {
+				comm++
+			}
+			if *dump {
+				fmt.Printf("%10d n%-2d miss %-7s line=%#x pc=%#x prov=%d inval=%v comm=%v\n",
+					e.Cycle, e.Node, e.MissKind, uint64(e.Line), e.PC, e.Provider,
+					e.Invalidated, e.Communicating)
+			}
+		case trace.EvSync:
+			syncs++
+			byKind[e.SyncKind.String()]++
+			if *dump {
+				fmt.Printf("%10d n%-2d sync %-8s static=%#x\n", e.Cycle, e.Node, e.SyncKind, e.StaticID)
+			}
+		}
+		if *limit > 0 && n >= *limit {
+			break
+		}
+	}
+
+	t := stats.NewTable("trace summary", "metric", "value")
+	t.AddRowf("events", n)
+	t.AddRowf("misses", misses)
+	t.AddRowf("communicating", comm)
+	t.AddRowf("sync-points", syncs)
+	for k, v := range map[string]int{"read": byKind["read"], "write": byKind["write"],
+		"upgrade": byKind["upgrade"], "barrier": byKind["barrier"], "lock": byKind["lock"]} {
+		t.AddRowf("  "+k, v)
+	}
+	t.Render(os.Stdout)
+}

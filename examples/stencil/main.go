@@ -1,0 +1,62 @@
+// Stencil: build a custom double-buffered halo-exchange program with the
+// public ProgramBuilder — the canonical workload the paper's introduction
+// motivates (stable producer-consumer neighbors) — and compare every
+// predictor on it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spcoh"
+)
+
+// buildStencil constructs a 16-thread red-black stencil: odd iterations
+// exchange with distance-1 neighbors, even with distance-2, producing the
+// stride-2 repetitive hot-set pattern of the paper's Figure 6(c).
+func buildStencil(iters int) (*spcoh.Program, error) {
+	const threads = 16
+	pb := spcoh.NewProgram("stencil", threads)
+	pb.DeclareBarriers(2)
+	cursors := make([]int, threads)
+	for it := 0; it < iters; it++ {
+		d := 1 + it%2
+		pb.Barrier(0)
+		pb.ForAll(func(t *spcoh.Thread) {
+			t.Produce(0, (t.ID()+d)%threads, 8)
+			t.PrivateWork(6, &cursors[t.ID()])
+			t.Compute(200)
+		})
+		pb.Barrier(1)
+		pb.ForAll(func(t *spcoh.Thread) {
+			t.Consume(0, (t.ID()+threads-d)%threads, 8)
+			t.PrivateWork(6, &cursors[t.ID()])
+			t.Compute(200)
+		})
+	}
+	return pb.Build()
+}
+
+func main() {
+	fmt.Println("red-black stencil, 16 threads, 60 iterations")
+	fmt.Printf("%-10s %10s %10s %10s %12s\n", "predictor", "cycles", "missLat", "accuracy", "storage bits")
+	for _, kind := range []spcoh.PredictorKind{
+		spcoh.Directory, spcoh.SP, spcoh.Addr, spcoh.Inst, spcoh.Uni, spcoh.Broadcast,
+	} {
+		prog, err := buildStencil(60)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := spcoh.RunProgram(prog, spcoh.Options{Predictor: kind})
+		if err != nil {
+			log.Fatal(err)
+		}
+		acc := "-"
+		if m.PredictionAccuracy > 0 {
+			acc = fmt.Sprintf("%.0f%%", 100*m.PredictionAccuracy)
+		}
+		fmt.Printf("%-10s %10d %10.1f %10s %12d\n", kind, m.Cycles, m.AvgMissLatency, acc, m.StorageBits)
+	}
+	fmt.Println("\nthe SP-predictor tracks the alternating neighbor pattern via its")
+	fmt.Println("stride-2 policy; ADDR/INST need far larger tables for the same effect")
+}

@@ -1,0 +1,30 @@
+// Suite: sweep all 17 benchmark stand-ins with the SP-predictor and print
+// the per-benchmark summary — a miniature of the paper's evaluation
+// section driven purely through the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spcoh"
+)
+
+func main() {
+	fmt.Printf("%-15s %6s %8s %9s %9s %8s\n",
+		"benchmark", "comm%", "misses", "missLat", "accuracy", "speedup")
+	for _, bench := range spcoh.Benchmarks() {
+		base, err := spcoh.RunBenchmark(bench, spcoh.Options{Scale: 0.5})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sp, err := spcoh.RunBenchmark(bench, spcoh.Options{Predictor: spcoh.SP, Scale: 0.5})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-15s %5.0f%% %8d %9.1f %8.0f%% %7.1f%%\n",
+			bench, 100*sp.CommRatio, sp.Misses, sp.AvgMissLatency,
+			100*sp.PredictionAccuracy,
+			100*(1-float64(sp.Cycles)/float64(base.Cycles)))
+	}
+}

@@ -1,0 +1,3 @@
+module spcoh
+
+go 1.24

@@ -1,0 +1,226 @@
+// Package cache implements the set-associative cache arrays used for the
+// private L1 and L2 caches: LRU replacement and MESIF line states
+// (paper Table 4: 64B lines; L1 16KB direct-mapped; L2 1MB 8-way).
+//
+// The package stores coherence metadata only — the simulator never models
+// data values, just which lines are resident and in which state.
+package cache
+
+import (
+	"fmt"
+
+	"spcoh/internal/arch"
+)
+
+// State is a MESIF coherence state. The F (Forward) state marks the single
+// shared copy responsible for servicing cache-to-cache transfers of clean
+// data, the distinguishing feature of MESIF over MESI.
+type State uint8
+
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Modified
+	Forward
+)
+
+// String returns the one-letter MESIF name.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	case Forward:
+		return "F"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Valid reports whether the state holds a readable copy.
+func (s State) Valid() bool { return s != Invalid }
+
+// CanForward reports whether a cache in this state must respond with data to
+// a predicted or forwarded request (paper §4.5: E, M or F).
+func (s State) CanForward() bool { return s == Exclusive || s == Modified || s == Forward }
+
+// Dirty reports whether eviction requires a writeback.
+func (s State) Dirty() bool { return s == Modified }
+
+// Line is one cache line's metadata.
+type Line struct {
+	Addr  arch.LineAddr
+	State State
+	lru   uint64 // last-touch stamp
+}
+
+// Config sizes a cache.
+type Config struct {
+	Bytes int // total capacity
+	Ways  int // associativity (1 = direct-mapped)
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c Config) Sets() int { return c.Bytes / (arch.LineSize * c.Ways) }
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Writebacks uint64
+}
+
+// Cache is a set-associative array of Lines with true-LRU replacement.
+type Cache struct {
+	cfg   Config
+	sets  [][]Line
+	clock uint64
+	stats Stats
+	mask  uint64
+}
+
+// New builds a cache. Capacity must be a positive multiple of
+// LineSize*Ways and the set count must be a power of two.
+func New(cfg Config) *Cache {
+	sets := cfg.Sets()
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d not a positive power of two", sets))
+	}
+	c := &Cache{cfg: cfg, sets: make([][]Line, sets), mask: uint64(sets - 1)}
+	for i := range c.sets {
+		c.sets[i] = make([]Line, cfg.Ways)
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+func (c *Cache) set(addr arch.LineAddr) []Line { return c.sets[uint64(addr)&c.mask] }
+
+// Lookup returns the line holding addr, or nil. A hit refreshes LRU and
+// counts in the statistics; use Peek for silent inspection.
+func (c *Cache) Lookup(addr arch.LineAddr) *Line {
+	set := c.set(addr)
+	for i := range set {
+		if set[i].State.Valid() && set[i].Addr == addr {
+			c.clock++
+			set[i].lru = c.clock
+			c.stats.Hits++
+			return &set[i]
+		}
+	}
+	c.stats.Misses++
+	return nil
+}
+
+// Peek returns the line holding addr without touching LRU or statistics.
+// Used for coherence probes (snoops, invalidations, predicted requests).
+func (c *Cache) Peek(addr arch.LineAddr) *Line {
+	set := c.set(addr)
+	for i := range set {
+		if set[i].State.Valid() && set[i].Addr == addr {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Victim describes a line displaced by Insert.
+type Victim struct {
+	Addr  arch.LineAddr
+	State State
+}
+
+// Insert fills addr with the given state, evicting the LRU way if the set
+// is full. It returns the victim (ok=false if an invalid way was used).
+// Inserting a line that is already resident updates its state in place.
+func (c *Cache) Insert(addr arch.LineAddr, st State) (v Victim, evicted bool) {
+	if st == Invalid {
+		panic("cache: inserting Invalid line")
+	}
+	set := c.set(addr)
+	c.clock++
+	// Already resident: state change only.
+	for i := range set {
+		if set[i].State.Valid() && set[i].Addr == addr {
+			set[i].State = st
+			set[i].lru = c.clock
+			return Victim{}, false
+		}
+	}
+	// Free way?
+	for i := range set {
+		if !set[i].State.Valid() {
+			set[i] = Line{Addr: addr, State: st, lru: c.clock}
+			return Victim{}, false
+		}
+	}
+	// Evict LRU.
+	vi := 0
+	for i := 1; i < len(set); i++ {
+		if set[i].lru < set[vi].lru {
+			vi = i
+		}
+	}
+	v = Victim{Addr: set[vi].Addr, State: set[vi].State}
+	c.stats.Evictions++
+	if v.State.Dirty() {
+		c.stats.Writebacks++
+	}
+	set[vi] = Line{Addr: addr, State: st, lru: c.clock}
+	return v, true
+}
+
+// SetState transitions a resident line to st; st == Invalid removes it.
+// It reports whether the line was resident.
+func (c *Cache) SetState(addr arch.LineAddr, st State) bool {
+	set := c.set(addr)
+	for i := range set {
+		if set[i].State.Valid() && set[i].Addr == addr {
+			if st == Invalid {
+				set[i] = Line{}
+			} else {
+				set[i].State = st
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate removes addr if resident, reporting the prior state.
+func (c *Cache) Invalidate(addr arch.LineAddr) (State, bool) {
+	set := c.set(addr)
+	for i := range set {
+		if set[i].State.Valid() && set[i].Addr == addr {
+			st := set[i].State
+			set[i] = Line{}
+			return st, true
+		}
+	}
+	return Invalid, false
+}
+
+// Occupancy returns the number of valid lines (test/debug aid).
+func (c *Cache) Occupancy() int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].State.Valid() {
+				n++
+			}
+		}
+	}
+	return n
+}

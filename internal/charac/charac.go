@@ -1,0 +1,333 @@
+// Package charac implements the paper's §3 communication characterization:
+// segmenting execution into sync-epochs, measuring per-interval
+// communication distributions and locality (Figures 2 and 4), hot
+// communication set sizes (Figure 5), dynamic-instance patterns (Figure 6)
+// and sync-epoch statistics (Table 1), all from an L2-miss/sync trace.
+package charac
+
+import (
+	"sort"
+
+	"spcoh/internal/arch"
+	"spcoh/internal/predictor"
+	"spcoh/internal/stats"
+	"spcoh/internal/trace"
+)
+
+// Epoch is one dynamic sync-epoch instance at one node: the interval
+// between two consecutive sync-points (§3.1).
+type Epoch struct {
+	Node     arch.NodeID
+	Kind     predictor.SyncKind
+	StaticID uint64
+	Instance int // dynamic instance index of this (node, static) epoch
+
+	Dist   stats.Distribution // communication volume per target
+	Misses int                // all misses in the interval
+	Comm   int                // communicating misses
+}
+
+// HotSet returns the epoch's hot communication set at the given threshold.
+func (e *Epoch) HotSet(threshold float64) arch.SharerSet {
+	var s arch.SharerSet
+	for _, i := range e.Dist.HotSet(threshold) {
+		s = s.Add(arch.NodeID(i))
+	}
+	return s
+}
+
+// Analysis is the digested trace.
+type Analysis struct {
+	Nodes  int
+	Epochs []*Epoch
+
+	// WholeDist is the per-node whole-execution communication
+	// distribution (Figure 2a granularity).
+	WholeDist []stats.Distribution
+
+	// PCDist groups communication by static instruction (Figure 4's
+	// instruction-granularity curve).
+	PCDist map[arch.NodeID]map[uint64]stats.Distribution
+
+	TotalMisses uint64
+	CommMisses  uint64
+
+	// Static structure observed.
+	staticBarrier map[uint64]bool
+	staticLock    map[uint64]bool
+}
+
+// Analyze segments a trace into epochs and accumulates distributions.
+func Analyze(events []*trace.Event, nodes int) *Analysis {
+	a := &Analysis{
+		Nodes:         nodes,
+		WholeDist:     make([]stats.Distribution, nodes),
+		PCDist:        make(map[arch.NodeID]map[uint64]stats.Distribution),
+		staticBarrier: make(map[uint64]bool),
+		staticLock:    make(map[uint64]bool),
+	}
+	for i := range a.WholeDist {
+		a.WholeDist[i] = stats.NewDistribution(nodes)
+	}
+	cur := make([]*Epoch, nodes)         // open epoch per node
+	instances := make(map[[2]uint64]int) // (node, static) -> next instance
+
+	for _, e := range events {
+		switch e.Kind {
+		case trace.EvSync:
+			if int(e.Node) >= nodes {
+				continue
+			}
+			switch e.SyncKind {
+			case predictor.SyncLock:
+				a.staticLock[e.StaticID] = true
+			case predictor.SyncBarrier, predictor.SyncJoin, predictor.SyncWakeup, predictor.SyncBroadcast:
+				a.staticBarrier[e.StaticID] = true
+			}
+			key := [2]uint64{uint64(e.Node), e.StaticID}
+			inst := instances[key]
+			instances[key] = inst + 1
+			cur[e.Node] = &Epoch{
+				Node: e.Node, Kind: e.SyncKind, StaticID: e.StaticID,
+				Instance: inst, Dist: stats.NewDistribution(nodes),
+			}
+			a.Epochs = append(a.Epochs, cur[e.Node])
+		case trace.EvMiss:
+			if int(e.Node) >= nodes {
+				continue
+			}
+			a.TotalMisses++
+			targets := e.Targets().Remove(e.Node)
+			if e.Communicating {
+				a.CommMisses++
+			}
+			if ep := cur[e.Node]; ep != nil {
+				ep.Misses++
+				if e.Communicating {
+					ep.Comm++
+				}
+			}
+			if targets.Empty() {
+				continue
+			}
+			targets.ForEach(func(t arch.NodeID) {
+				a.WholeDist[e.Node].Add(int(t), 1)
+				if ep := cur[e.Node]; ep != nil {
+					ep.Dist.Add(int(t), 1)
+				}
+				byPC := a.PCDist[e.Node]
+				if byPC == nil {
+					byPC = make(map[uint64]stats.Distribution)
+					a.PCDist[e.Node] = byPC
+				}
+				d := byPC[e.PC]
+				if d == nil {
+					d = stats.NewDistribution(nodes)
+					byPC[e.PC] = d
+				}
+				d.Add(int(t), 1)
+			})
+		}
+	}
+	return a
+}
+
+// CommRatio returns the fraction of communicating misses (Figure 1).
+func (a *Analysis) CommRatio() float64 {
+	if a.TotalMisses == 0 {
+		return 0
+	}
+	return float64(a.CommMisses) / float64(a.TotalMisses)
+}
+
+// weightedCoverage averages cumulative coverage curves weighted by volume.
+func (a *Analysis) weightedCoverage(dists []stats.Distribution) []float64 {
+	out := make([]float64, a.Nodes)
+	var wsum float64
+	for _, d := range dists {
+		v := float64(d.Total())
+		if v == 0 {
+			continue
+		}
+		cov := d.Coverage()
+		for i := range out {
+			out[i] += v * cov[i]
+		}
+		wsum += v
+	}
+	if wsum > 0 {
+		for i := range out {
+			out[i] /= wsum
+		}
+	}
+	return out
+}
+
+// CoverageByEpoch returns the average cumulative communication coverage at
+// sync-epoch granularity: element k-1 is the average fraction of an
+// epoch's communication covered by its k hottest targets (Figure 4,
+// "sync-epoch" curve).
+func (a *Analysis) CoverageByEpoch() []float64 {
+	dists := make([]stats.Distribution, 0, len(a.Epochs))
+	for _, e := range a.Epochs {
+		dists = append(dists, e.Dist)
+	}
+	return a.weightedCoverage(dists)
+}
+
+// CoverageWhole returns coverage at whole-execution granularity
+// (Figure 4, "single-interval" curve).
+func (a *Analysis) CoverageWhole() []float64 {
+	return a.weightedCoverage(a.WholeDist)
+}
+
+// CoverageByPC returns coverage at static-instruction granularity
+// (Figure 4, "static instruction" curve).
+func (a *Analysis) CoverageByPC() []float64 {
+	var dists []stats.Distribution
+	for _, byPC := range a.PCDist {
+		for _, d := range byPC {
+			dists = append(dists, d)
+		}
+	}
+	return a.weightedCoverage(dists)
+}
+
+// HotSetSizes returns the distribution of epochs over hot-set sizes
+// 1,2,3,4,>=5 at the given threshold (Figure 5). Epochs without
+// communication are skipped, as in the paper's noisy-instance treatment.
+func (a *Analysis) HotSetSizes(threshold float64) *stats.Histogram {
+	h := stats.NewHistogram(5)
+	for _, e := range a.Epochs {
+		if e.Dist.Total() == 0 {
+			continue
+		}
+		n := e.HotSet(threshold).Count()
+		if n == 0 {
+			continue
+		}
+		h.Add(n)
+	}
+	return h
+}
+
+// EpochStats reports the Table 1 quantities: static critical sections,
+// static sync-epochs (barrier-class sync-points), and dynamic epochs per
+// core.
+func (a *Analysis) EpochStats() (staticCS, staticEpochs int, dynPerCore float64) {
+	if a.Nodes > 0 {
+		dynPerCore = float64(len(a.Epochs)) / float64(a.Nodes)
+	}
+	return len(a.staticLock), len(a.staticBarrier), dynPerCore
+}
+
+// InstancesOf returns the dynamic instances of one static epoch at one
+// node, ordered by instance (Figures 2c and 6 raw material).
+func (a *Analysis) InstancesOf(node arch.NodeID, staticID uint64) []*Epoch {
+	var out []*Epoch
+	for _, e := range a.Epochs {
+		if e.Node == node && e.StaticID == staticID {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Instance < out[j].Instance })
+	return out
+}
+
+// EpochsOf returns all epochs of one node in execution order (Figure 2b).
+func (a *Analysis) EpochsOf(node arch.NodeID) []*Epoch {
+	var out []*Epoch
+	for _, e := range a.Epochs {
+		if e.Node == node {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// StaticEpochIDs returns the distinct barrier-class static IDs observed.
+func (a *Analysis) StaticEpochIDs() []uint64 {
+	out := make([]uint64, 0, len(a.staticBarrier))
+	for id := range a.staticBarrier {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PatternClass classifies how a static epoch's hot set evolves across its
+// dynamic instances (§3.4, Figure 6).
+type PatternClass int
+
+const (
+	PatternEmpty PatternClass = iota
+	PatternStable
+	PatternStride
+	PatternMixed
+	PatternRandom
+)
+
+// String names the class as in Figure 6.
+func (p PatternClass) String() string {
+	switch p {
+	case PatternEmpty:
+		return "empty"
+	case PatternStable:
+		return "stable"
+	case PatternStride:
+		return "repetitive"
+	case PatternMixed:
+		return "mixed"
+	case PatternRandom:
+		return "random"
+	default:
+		return "?"
+	}
+}
+
+// ClassifyPattern inspects a sequence of hot communication sets. It
+// returns the class and, for repetitive patterns, the stride.
+func ClassifyPattern(sets []arch.SharerSet) (PatternClass, int) {
+	var nonEmpty []arch.SharerSet
+	for _, s := range sets {
+		if !s.Empty() {
+			nonEmpty = append(nonEmpty, s)
+		}
+	}
+	if len(nonEmpty) == 0 {
+		return PatternEmpty, 0
+	}
+	if len(nonEmpty) == 1 {
+		return PatternStable, 0
+	}
+	match := func(stride int) float64 {
+		hits, total := 0, 0
+		for i := stride; i < len(nonEmpty); i++ {
+			total++
+			if nonEmpty[i] == nonEmpty[i-stride] {
+				hits++
+			}
+		}
+		if total == 0 {
+			return 0
+		}
+		return float64(hits) / float64(total)
+	}
+	if match(1) >= 0.8 {
+		return PatternStable, 1
+	}
+	for stride := 2; stride <= 4 && stride < len(nonEmpty); stride++ {
+		if match(stride) >= 0.8 {
+			return PatternStride, stride
+		}
+	}
+	// Mixed: a stable core intersection with varying extras.
+	inter := nonEmpty[0]
+	for _, s := range nonEmpty[1:] {
+		inter = inter.Intersect(s)
+	}
+	if !inter.Empty() {
+		return PatternMixed, 0
+	}
+	return PatternRandom, 0
+}

@@ -1,0 +1,175 @@
+package charac
+
+import (
+	"testing"
+
+	"spcoh/internal/arch"
+	"spcoh/internal/predictor"
+	"spcoh/internal/trace"
+)
+
+func sync(node arch.NodeID, kind predictor.SyncKind, id uint64) *trace.Event {
+	return &trace.Event{Kind: trace.EvSync, Node: node, SyncKind: kind, StaticID: id}
+}
+
+func miss(node, prov arch.NodeID, pc uint64, comm bool) *trace.Event {
+	return &trace.Event{Kind: trace.EvMiss, Node: node, PC: pc, Provider: prov,
+		Communicating: comm}
+}
+
+func TestSegmentation(t *testing.T) {
+	events := []*trace.Event{
+		sync(0, predictor.SyncBarrier, 1),
+		miss(0, 2, 0x400, true),
+		miss(0, 2, 0x400, true),
+		sync(0, predictor.SyncBarrier, 2),
+		miss(0, 3, 0x404, true),
+		sync(0, predictor.SyncBarrier, 1), // second instance of epoch 1
+		miss(0, 2, 0x400, true),
+	}
+	a := Analyze(events, 4)
+	if len(a.Epochs) != 3 {
+		t.Fatalf("epochs = %d", len(a.Epochs))
+	}
+	insts := a.InstancesOf(0, 1)
+	if len(insts) != 2 || insts[0].Instance != 0 || insts[1].Instance != 1 {
+		t.Fatalf("instances: %+v", insts)
+	}
+	if insts[0].Comm != 2 || insts[1].Comm != 1 {
+		t.Fatalf("comm counts: %d %d", insts[0].Comm, insts[1].Comm)
+	}
+	if got := insts[0].HotSet(0.1); got != arch.SetOf(2) {
+		t.Fatalf("hot set = %v", got)
+	}
+	if a.CommRatio() != 1.0 {
+		t.Fatalf("comm ratio = %v", a.CommRatio())
+	}
+	cs, se, dyn := a.EpochStats()
+	if cs != 0 || se != 2 || dyn != 3.0/4 {
+		t.Fatalf("stats = %d %d %v", cs, se, dyn)
+	}
+}
+
+func TestMissesBeforeFirstSync(t *testing.T) {
+	events := []*trace.Event{
+		miss(0, 1, 0x1, true), // before any sync-point: whole-run only
+		sync(0, predictor.SyncBarrier, 1),
+		miss(0, 2, 0x2, true),
+	}
+	a := Analyze(events, 4)
+	if len(a.Epochs) != 1 || a.Epochs[0].Misses != 1 {
+		t.Fatalf("epochs: %+v", a.Epochs)
+	}
+	if a.WholeDist[0].Total() != 2 {
+		t.Fatalf("whole dist total = %d", a.WholeDist[0].Total())
+	}
+}
+
+func TestCoverageGranularities(t *testing.T) {
+	// Node 0 talks to 1 in epoch A and to 2 in epoch B: epoch-granularity
+	// coverage at k=1 is 1.0, whole-run coverage at k=1 is 0.5.
+	var events []*trace.Event
+	events = append(events, sync(0, predictor.SyncBarrier, 1))
+	for i := 0; i < 10; i++ {
+		events = append(events, miss(0, 1, 0x10, true))
+	}
+	events = append(events, sync(0, predictor.SyncBarrier, 2))
+	for i := 0; i < 10; i++ {
+		events = append(events, miss(0, 2, 0x20, true))
+	}
+	a := Analyze(events, 4)
+	epochCov := a.CoverageByEpoch()
+	wholeCov := a.CoverageWhole()
+	pcCov := a.CoverageByPC()
+	if epochCov[0] != 1.0 {
+		t.Fatalf("epoch coverage = %v", epochCov)
+	}
+	if wholeCov[0] != 0.5 || wholeCov[1] != 1.0 {
+		t.Fatalf("whole coverage = %v", wholeCov)
+	}
+	if pcCov[0] != 1.0 { // each PC has a single target here
+		t.Fatalf("pc coverage = %v", pcCov)
+	}
+}
+
+func TestHotSetSizes(t *testing.T) {
+	var events []*trace.Event
+	events = append(events, sync(0, predictor.SyncBarrier, 1))
+	for i := 0; i < 5; i++ {
+		events = append(events, miss(0, 1, 0, true))
+		events = append(events, miss(0, 2, 0, true))
+	}
+	events = append(events, sync(0, predictor.SyncBarrier, 2)) // closes; opens quiet epoch
+	a := Analyze(events, 4)
+	h := a.HotSetSizes(0.10)
+	if h.Total != 1 || h.Buckets[2] != 1 {
+		t.Fatalf("hist = %+v", h)
+	}
+}
+
+func TestLockEpochsCounted(t *testing.T) {
+	events := []*trace.Event{
+		sync(0, predictor.SyncLock, 0xBEEF),
+		miss(0, 1, 0, true),
+		sync(0, predictor.SyncUnlock, 0xBEF0),
+	}
+	a := Analyze(events, 4)
+	cs, _, _ := a.EpochStats()
+	if cs != 1 {
+		t.Fatalf("static CS = %d", cs)
+	}
+	if len(a.Epochs) != 2 {
+		t.Fatalf("epochs = %d", len(a.Epochs))
+	}
+	if a.Epochs[0].Kind != predictor.SyncLock {
+		t.Fatalf("kind = %v", a.Epochs[0].Kind)
+	}
+}
+
+func TestClassifyPattern(t *testing.T) {
+	a1, b1, c1 := arch.SetOf(1), arch.SetOf(2), arch.SetOf(3)
+	cases := []struct {
+		sets   []arch.SharerSet
+		class  PatternClass
+		stride int
+	}{
+		{nil, PatternEmpty, 0},
+		{[]arch.SharerSet{arch.EmptySet, arch.EmptySet}, PatternEmpty, 0},
+		{[]arch.SharerSet{a1}, PatternStable, 0},
+		{[]arch.SharerSet{a1, a1, a1, a1}, PatternStable, 1},
+		{[]arch.SharerSet{a1, b1, a1, b1, a1, b1}, PatternStride, 2},
+		{[]arch.SharerSet{a1, b1, c1, a1, b1, c1, a1}, PatternStride, 3},
+		{[]arch.SharerSet{a1.Add(2), a1.Add(3), a1.Add(5), a1.Add(7)}, PatternMixed, 0},
+		{[]arch.SharerSet{a1, b1, c1, arch.SetOf(5), arch.SetOf(7), arch.SetOf(9), b1}, PatternRandom, 0},
+	}
+	for i, c := range cases {
+		class, stride := ClassifyPattern(c.sets)
+		if class != c.class {
+			t.Errorf("case %d: class = %v, want %v", i, class, c.class)
+		}
+		if c.class == PatternStride && stride != c.stride {
+			t.Errorf("case %d: stride = %d, want %d", i, stride, c.stride)
+		}
+	}
+	for _, p := range []PatternClass{PatternEmpty, PatternStable, PatternStride, PatternMixed, PatternRandom} {
+		if p.String() == "?" {
+			t.Errorf("missing name for %d", p)
+		}
+	}
+}
+
+func TestEpochsOfOrder(t *testing.T) {
+	events := []*trace.Event{
+		sync(1, predictor.SyncBarrier, 1),
+		sync(1, predictor.SyncBarrier, 2),
+		sync(1, predictor.SyncBarrier, 1),
+	}
+	a := Analyze(events, 4)
+	eps := a.EpochsOf(1)
+	if len(eps) != 3 || eps[0].StaticID != 1 || eps[1].StaticID != 2 || eps[2].StaticID != 1 {
+		t.Fatalf("order wrong: %+v", eps)
+	}
+	if got := a.StaticEpochIDs(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("static ids = %v", got)
+	}
+}

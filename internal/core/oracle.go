@@ -1,0 +1,151 @@
+package core
+
+import (
+	"spcoh/internal/arch"
+	"spcoh/internal/predictor"
+)
+
+// instKey identifies one dynamic instance of a sync-epoch at one node.
+type instKey struct {
+	node     arch.NodeID
+	staticID uint64
+	instance int
+}
+
+// OracleBook records the hot communication set of every dynamic sync-epoch
+// instance, collected in a profiling run. It backs the "Ideal Case" marks
+// of the paper's Figure 7: the accuracy the SP-predictor would obtain if
+// every epoch's hot set were known a priori.
+type OracleBook struct {
+	hot map[instKey]arch.SharerSet
+}
+
+// NewOracleBook returns an empty book.
+func NewOracleBook() *OracleBook { return &OracleBook{hot: make(map[instKey]arch.SharerSet)} }
+
+// Recorder is a predictor.Predictor that makes no predictions and records
+// per-epoch hot sets into an OracleBook during the profiling run.
+type Recorder struct {
+	cfg      Config
+	self     arch.NodeID
+	book     *OracleBook
+	counters []uint32
+	cur      instKey
+	haveKey  bool
+	seen     map[uint64]int // staticID -> instance counter
+}
+
+// NewRecorder builds a profiling recorder for one node.
+func NewRecorder(cfg Config, self arch.NodeID, book *OracleBook) *Recorder {
+	return &Recorder{cfg: cfg, self: self, book: book,
+		counters: make([]uint32, cfg.Nodes), seen: make(map[uint64]int)}
+}
+
+// RecorderSystem builds recorders for all nodes over one shared book.
+func RecorderSystem(cfg Config, book *OracleBook) []predictor.Predictor {
+	preds := make([]predictor.Predictor, cfg.Nodes)
+	for i := range preds {
+		preds[i] = NewRecorder(cfg, arch.NodeID(i), book)
+	}
+	return preds
+}
+
+// Name implements predictor.Predictor.
+func (r *Recorder) Name() string { return "oracle-recorder" }
+
+func (r *Recorder) flush() {
+	if !r.haveKey {
+		return
+	}
+	var total uint64
+	for _, c := range r.counters {
+		total += uint64(c)
+	}
+	var s arch.SharerSet
+	if total > 0 {
+		min := r.cfg.HotThreshold * float64(total)
+		for i, c := range r.counters {
+			if c > 0 && float64(c) >= min {
+				s = s.Add(arch.NodeID(i))
+			}
+		}
+	}
+	r.book.hot[r.cur] = s
+	for i := range r.counters {
+		r.counters[i] = 0
+	}
+}
+
+// OnSync implements predictor.Predictor.
+func (r *Recorder) OnSync(e predictor.SyncEvent) {
+	r.flush()
+	inst := r.seen[e.StaticID]
+	r.seen[e.StaticID] = inst + 1
+	r.cur = instKey{node: r.self, staticID: e.StaticID, instance: inst}
+	r.haveKey = true
+}
+
+// Predict implements predictor.Predictor; the recorder never predicts.
+func (r *Recorder) Predict(predictor.Miss) (arch.SharerSet, predictor.Tag) {
+	return arch.EmptySet, predictor.TagNone
+}
+
+// Train implements predictor.Predictor.
+func (r *Recorder) Train(_ predictor.Miss, o predictor.Outcome) {
+	t := o.Targets().Remove(r.self)
+	t.ForEach(func(n arch.NodeID) { r.counters[n]++ })
+}
+
+// StorageBits implements predictor.Predictor.
+func (r *Recorder) StorageBits() int { return 0 }
+
+// Oracle is a predictor.Predictor that replays a recorded OracleBook: at
+// the start of each epoch instance it predicts that instance's true hot
+// set. It needs a deterministic workload so instances align with the
+// profiling run.
+type Oracle struct {
+	self    arch.NodeID
+	book    *OracleBook
+	seen    map[uint64]int
+	cur     arch.SharerSet
+	haveCur bool
+}
+
+// NewOracle builds an oracle over a recorded book.
+func NewOracle(self arch.NodeID, book *OracleBook) *Oracle {
+	return &Oracle{self: self, book: book, seen: make(map[uint64]int)}
+}
+
+// OracleSystem builds oracles for all nodes over one recorded book.
+func OracleSystem(nodes int, book *OracleBook) []predictor.Predictor {
+	preds := make([]predictor.Predictor, nodes)
+	for i := range preds {
+		preds[i] = NewOracle(arch.NodeID(i), book)
+	}
+	return preds
+}
+
+// Name implements predictor.Predictor.
+func (o *Oracle) Name() string { return "ideal" }
+
+// OnSync implements predictor.Predictor.
+func (o *Oracle) OnSync(e predictor.SyncEvent) {
+	inst := o.seen[e.StaticID]
+	o.seen[e.StaticID] = inst + 1
+	hot, ok := o.book.hot[instKey{node: o.self, staticID: e.StaticID, instance: inst}]
+	o.cur, o.haveCur = hot.Remove(o.self), ok
+}
+
+// Predict implements predictor.Predictor.
+func (o *Oracle) Predict(predictor.Miss) (arch.SharerSet, predictor.Tag) {
+	if !o.haveCur || o.cur.Empty() {
+		return arch.EmptySet, predictor.TagNone
+	}
+	return o.cur, predictor.TagOther
+}
+
+// Train implements predictor.Predictor.
+func (o *Oracle) Train(predictor.Miss, predictor.Outcome) {}
+
+// StorageBits implements predictor.Predictor.
+func (o *Oracle) StorageBits() int { return 0 }

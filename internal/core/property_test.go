@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spcoh/internal/arch"
+	"spcoh/internal/predictor"
+)
+
+// Property: table history never exceeds the configured depth, is ordered
+// most-recent-first, and survives arbitrary push sequences.
+func TestPropertyTableDepth(t *testing.T) {
+	f := func(seed int64, depth8, pushes uint8) bool {
+		depth := int(depth8%4) + 1
+		rng := rand.New(rand.NewSource(seed))
+		tab := NewTable(depth, 0)
+		k := epochKey{staticID: 1, proc: 0}
+		var last arch.SharerSet
+		for i := 0; i < int(pushes); i++ {
+			last = arch.SharerSet(rng.Uint64() & 0xFFFF)
+			tab.push(k, last)
+		}
+		sigs, _ := tab.history(k)
+		if len(sigs) > depth {
+			return false
+		}
+		if int(pushes) > 0 && sigs[0] != last {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: capacity-bounded tables never exceed MaxEntries and always
+// retain the most recently used key.
+func TestPropertyTableCapacity(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		maxE := int(n%16) + 1
+		tab := NewTable(2, maxE)
+		var lastKey epochKey
+		for i := 0; i < 200; i++ {
+			lastKey = epochKey{staticID: uint64(rng.Intn(64)), proc: arch.NodeID(rng.Intn(4))}
+			tab.push(lastKey, arch.SharerSet(rng.Uint64()))
+		}
+		if tab.Len() > maxE {
+			return false
+		}
+		sigs, _ := tab.history(lastKey)
+		return len(sigs) > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the predictor never predicts itself and never predicts after
+// training exclusively on non-communicating misses.
+func TestPropertyNeverSelfNeverPhantom(t *testing.T) {
+	f := func(seed int64, selfRaw uint8) bool {
+		self := arch.NodeID(selfRaw % 16)
+		rng := rand.New(rand.NewSource(seed))
+		p := NewPredictor(DefaultConfig(16), self, nil)
+		for ep := 0; ep < 8; ep++ {
+			p.OnSync(predictor.SyncEvent{Kind: predictor.SyncBarrier, StaticID: uint64(rng.Intn(4))})
+			for i := 0; i < rng.Intn(20); i++ {
+				if rng.Intn(2) == 0 {
+					// communicating miss toward a random provider
+					p.Train(predictor.Miss{}, predictor.Outcome{
+						Provider: arch.NodeID(rng.Intn(16)), Communicating: true})
+				} else {
+					p.Train(predictor.Miss{}, predictor.Outcome{Provider: arch.None})
+				}
+				set, _ := p.Predict(predictor.Miss{})
+				if set.Contains(self) {
+					return false
+				}
+			}
+		}
+		// Fresh predictor trained only on memory misses must stay silent.
+		q := NewPredictor(DefaultConfig(16), self, nil)
+		q.OnSync(predictor.SyncEvent{Kind: predictor.SyncBarrier, StaticID: 1})
+		for i := 0; i < 50; i++ {
+			q.Train(predictor.Miss{}, predictor.Outcome{Provider: arch.None})
+		}
+		set, _ := q.Predict(predictor.Miss{})
+		return set.Empty()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: hot sets always respect the threshold semantics regardless of
+// the counter mix.
+func TestPropertyHotSetThreshold(t *testing.T) {
+	f := func(raw [16]uint8) bool {
+		p := NewPredictor(DefaultConfig(16), 0, nil)
+		var total uint64
+		for i, v := range raw {
+			p.counters[i] = uint32(v)
+			total += uint64(v)
+		}
+		hot := p.hotSet()
+		if total == 0 {
+			return hot.Empty()
+		}
+		min := 0.10 * float64(total)
+		for i, v := range raw {
+			in := hot.Contains(arch.NodeID(i))
+			should := v > 0 && float64(v) >= min
+			if in != should {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,47 @@
+package energy
+
+import (
+	"testing"
+
+	"spcoh/internal/noc"
+)
+
+func TestComputeModel(t *testing.T) {
+	p := Params{LinkPerFlitHop: 1, RouterPerFlitHop: 4, SnoopLookup: 5}
+	b := Compute(noc.Stats{FlitHops: 100}, 10, p)
+	if b.Network != 500 {
+		t.Fatalf("network = %v, want 500", b.Network)
+	}
+	if b.Snoops != 50 {
+		t.Fatalf("snoops = %v, want 50", b.Snoops)
+	}
+	if b.Total() != 550 {
+		t.Fatalf("total = %v", b.Total())
+	}
+}
+
+func TestDefaultsRouterIsFourTimesLink(t *testing.T) {
+	p := DefaultParams()
+	if p.RouterPerFlitHop != 4*p.LinkPerFlitHop {
+		t.Fatalf("paper model: router = 4x link, got %v vs %v",
+			p.RouterPerFlitHop, p.LinkPerFlitHop)
+	}
+	if p.SnoopLookup <= 0 {
+		t.Fatal("lookup energy must be positive")
+	}
+}
+
+func TestZeroActivityZeroEnergy(t *testing.T) {
+	if b := Compute(noc.Stats{}, 0, DefaultParams()); b.Total() != 0 {
+		t.Fatalf("idle energy = %v", b.Total())
+	}
+}
+
+func TestEnergyMonotoneInActivity(t *testing.T) {
+	p := DefaultParams()
+	small := Compute(noc.Stats{FlitHops: 10}, 5, p).Total()
+	large := Compute(noc.Stats{FlitHops: 20}, 10, p).Total()
+	if large <= small {
+		t.Fatalf("energy not monotone: %v vs %v", small, large)
+	}
+}

@@ -1,0 +1,107 @@
+// Package event provides the discrete-event simulation engine that drives
+// the whole CMP model: a simulated cycle clock and a priority queue of
+// scheduled callbacks.
+//
+// Determinism is a hard requirement (experiments must be reproducible), so
+// events scheduled for the same cycle fire in scheduling order (FIFO within
+// a cycle), enforced by a monotonically increasing sequence number.
+package event
+
+import "container/heap"
+
+// Time is a simulation timestamp in clock cycles.
+type Time uint64
+
+// Func is a scheduled callback. It runs with the simulator clock set to its
+// scheduled time.
+type Func func()
+
+type item struct {
+	when Time
+	seq  uint64
+	fn   Func
+}
+
+type eventHeap []item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(item)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+func (h eventHeap) peek() item    { return h[0] }
+
+// Sim is a discrete-event simulator instance. The zero value is not usable;
+// call New.
+type Sim struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	// Fired counts executed events; useful for budget checks and debugging.
+	Fired uint64
+}
+
+// New returns an empty simulator at time 0.
+func New() *Sim {
+	s := &Sim{}
+	heap.Init(&s.events)
+	return s
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() Time { return s.now }
+
+// At schedules fn to run at absolute time t. Scheduling in the past (t <
+// Now) is a programming error and fires the event at the current time
+// instead, preserving monotonicity.
+func (s *Sim) At(t Time, fn Func) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, item{when: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d cycles from now.
+func (s *Sim) After(d Time, fn Func) { s.At(s.now+d, fn) }
+
+// Pending returns the number of scheduled-but-unfired events.
+func (s *Sim) Pending() int { return len(s.events) }
+
+// Step fires the next event, advancing the clock to its timestamp. It
+// reports false if no events remain.
+func (s *Sim) Step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	it := heap.Pop(&s.events).(item)
+	s.now = it.when
+	s.Fired++
+	it.fn()
+	return true
+}
+
+// Run fires events until the queue drains.
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps <= limit, leaving later events
+// queued. The clock ends at min(limit, time of last fired event).
+func (s *Sim) RunUntil(limit Time) {
+	for len(s.events) > 0 && s.events.peek().when <= limit {
+		s.Step()
+	}
+}
+
+// RunWhile fires events while cond() holds and events remain.
+func (s *Sim) RunWhile(cond func() bool) {
+	for cond() && s.Step() {
+	}
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func tinyRunner() *Runner {
+	return NewRunner(Config{Threads: 16, Scale: 0.05, Seed: 7})
+}
+
+func TestRegistryCompleteAndOrdered(t *testing.T) {
+	all := All()
+	if len(all) != 14 {
+		t.Fatalf("experiments = %d, want 14", len(all))
+	}
+	want := []string{"table1", "fig1", "fig2", "fig4", "fig5", "fig6", "fig7",
+		"table5", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13"}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Fatalf("order: got %s at %d, want %s", e.ID, i, want[i])
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("unknown id must error")
+	}
+}
+
+func TestRunnerCaching(t *testing.T) {
+	r := tinyRunner()
+	a := r.Run("x264", "dir")
+	b := r.Run("x264", "dir")
+	if a != b {
+		t.Fatal("runner must cache results")
+	}
+	if r.Analysis("x264") != r.Analysis("x264") {
+		t.Fatal("runner must cache analyses")
+	}
+}
+
+func TestCharacterizationTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	r := tinyRunner()
+	for _, id := range []string{"table1", "fig1", "fig5"} {
+		e, _ := ByID(id)
+		out := e.Run(r).String()
+		if !strings.Contains(out, "x264") || !strings.Contains(out, "fmm") {
+			t.Fatalf("%s missing benchmarks:\n%s", id, out)
+		}
+	}
+}
+
+func TestEvaluationTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	r := tinyRunner()
+	for _, id := range []string{"fig8", "fig9", "table5"} {
+		e, _ := ByID(id)
+		out := e.Run(r).String()
+		if !strings.Contains(out, "average") && id != "table5" {
+			t.Fatalf("%s missing average row:\n%s", id, out)
+		}
+	}
+	// Normalized latencies must be sensible.
+	fig8 := r.Run("x264", "sp").AvgMissLatency() / r.Run("x264", "dir").AvgMissLatency()
+	if fig8 <= 0 || fig8 > 1.5 {
+		t.Fatalf("sp/dir latency ratio implausible: %v", fig8)
+	}
+}
+
+func TestTradeoffPoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	r := tinyRunner()
+	x, y := tradeoffPoint(r, "x264", "sp")
+	if x < 0 || y < 0 || y > 100 {
+		t.Fatalf("tradeoff point out of range: %v %v", x, y)
+	}
+	// The directory reference point is (0, 100) by construction.
+	if _, yDir := tradeoffPoint(r, "x264", "dir"); yDir != 100 {
+		t.Fatalf("directory y = %v, want 100", yDir)
+	}
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"fmt"
+
+	"spcoh/internal/stats"
+)
+
+// Experiment is one regenerable paper artifact.
+type Experiment struct {
+	ID    string // "fig7", "table1", ...
+	Title string
+	Run   func(*Runner) *stats.Table
+}
+
+// All returns the experiments in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Sync-epoch statistics", Table1},
+		{"fig1", "Ratio of communicating misses", Fig1},
+		{"fig2", "Communication distribution of core 0 in bodytrack", Fig2},
+		{"fig4", "Communication locality by granularity", Fig4},
+		{"fig5", "Hot communication set sizes", Fig5},
+		{"fig6", "Hot-set patterns across dynamic instances", Fig6},
+		{"fig7", "SP-prediction accuracy", Fig7},
+		{"table5", "Actual vs predicted set size", Table5},
+		{"fig8", "Average miss latency", Fig8},
+		{"fig9", "Additional bandwidth demands", Fig9},
+		{"fig10", "Execution time", Fig10},
+		{"fig11", "NoC and lookup energy", Fig11},
+		{"fig12", "Latency/bandwidth trade-off", Fig12},
+		{"fig13", "Trade-off under limited table space", Fig13},
+	}
+}
+
+// ByID finds one experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q", id)
+}

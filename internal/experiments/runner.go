@@ -1,0 +1,174 @@
+// Package experiments regenerates every table and figure of the paper's
+// characterization (§3) and evaluation (§5) sections. Each experiment is a
+// named generator producing a text table; the spbench command and the
+// repository's bench suite drive them.
+package experiments
+
+import (
+	"fmt"
+
+	"spcoh/internal/arch"
+	"spcoh/internal/charac"
+	"spcoh/internal/core"
+	"spcoh/internal/predictor"
+	"spcoh/internal/sim"
+	"spcoh/internal/trace"
+	"spcoh/internal/workload"
+)
+
+// Config scales the experiment workloads.
+type Config struct {
+	Threads int
+	Scale   float64
+	Seed    int64
+}
+
+// Default is the full-size configuration used for EXPERIMENTS.md.
+func Default() Config { return Config{Threads: 16, Scale: 1.0, Seed: 42} }
+
+// Quick is a reduced configuration for smoke runs and -short benchmarks.
+func Quick() Config { return Config{Threads: 16, Scale: 0.25, Seed: 42} }
+
+// Runner executes and caches simulation runs; experiments share results.
+type Runner struct {
+	Cfg Config
+
+	results  map[string]*sim.Result
+	analyses map[string]*charac.Analysis
+	programs map[string]*workload.Program
+	books    map[string]*core.OracleBook
+}
+
+// NewRunner builds an empty cache over cfg.
+func NewRunner(cfg Config) *Runner {
+	return &Runner{
+		Cfg:      cfg,
+		results:  make(map[string]*sim.Result),
+		analyses: make(map[string]*charac.Analysis),
+		programs: make(map[string]*workload.Program),
+		books:    make(map[string]*core.OracleBook),
+	}
+}
+
+func (r *Runner) program(bench string) *workload.Program {
+	if p, ok := r.programs[bench]; ok {
+		return p
+	}
+	prof, err := workload.ByName(bench)
+	if err != nil {
+		panic(err)
+	}
+	p := prof.Build(r.Cfg.Threads, r.Cfg.Scale, r.Cfg.Seed)
+	r.programs[bench] = p
+	return p
+}
+
+// predictorsFor builds the per-node predictor set for a configuration name.
+func (r *Runner) predictorsFor(bench, kind string) []predictor.Predictor {
+	n := r.Cfg.Threads
+	mk := func(f func(arch.NodeID) predictor.Predictor) []predictor.Predictor {
+		preds := make([]predictor.Predictor, n)
+		for i := range preds {
+			preds[i] = f(arch.NodeID(i))
+		}
+		return preds
+	}
+	switch kind {
+	case "dir", "bcast":
+		return nil
+	case "sp":
+		return core.NewSystem(core.DefaultConfig(n))
+	case "sp+filter":
+		// §5.3 extension: a region snoop filter suppressing prediction
+		// attempts on private data.
+		preds := core.NewSystem(core.DefaultConfig(n))
+		for i := range preds {
+			preds[i] = predictor.NewRegionFilter(preds[i])
+		}
+		return preds
+	case "sp512":
+		cfg := core.DefaultConfig(n)
+		cfg.MaxEntries = 512
+		return core.NewSystem(cfg)
+	case "addr":
+		return mk(func(id arch.NodeID) predictor.Predictor { return predictor.NewAddr(id, n) })
+	case "inst":
+		return mk(func(id arch.NodeID) predictor.Predictor { return predictor.NewInst(id, n) })
+	case "uni":
+		return mk(func(id arch.NodeID) predictor.Predictor { return predictor.NewUni(id, n) })
+	case "addr-small":
+		// ~0.5KB per node: the capacity wall sits ~8x lower than the
+		// paper's 4KB because the synthetic working sets are ~8x smaller.
+		return mk(func(id arch.NodeID) predictor.Predictor {
+			cfg := predictor.DefaultAddrConfig(n)
+			cfg.Entries = 64
+			return predictor.NewGroup("ADDR-small", id, cfg)
+		})
+	case "inst-small":
+		return mk(func(id arch.NodeID) predictor.Predictor {
+			cfg := predictor.DefaultInstConfig(n)
+			cfg.Entries = 64
+			return predictor.NewGroup("INST-small", id, cfg)
+		})
+	case "oracle":
+		return core.OracleSystem(n, r.book(bench))
+	default:
+		panic(fmt.Sprintf("experiments: unknown configuration %q", kind))
+	}
+}
+
+// book runs (once) the oracle-recording profiling pass for a benchmark.
+func (r *Runner) book(bench string) *core.OracleBook {
+	if b, ok := r.books[bench]; ok {
+		return b
+	}
+	b := core.NewOracleBook()
+	opt := sim.DefaultOptions()
+	opt.Predictors = core.RecorderSystem(core.DefaultConfig(r.Cfg.Threads), b)
+	if _, err := sim.Run(r.program(bench), opt); err != nil {
+		panic(err)
+	}
+	r.books[bench] = b
+	return b
+}
+
+// Run executes (or recalls) one benchmark under one configuration.
+func (r *Runner) Run(bench, kind string) *sim.Result {
+	key := bench + "/" + kind
+	if res, ok := r.results[key]; ok {
+		return res
+	}
+	opt := sim.DefaultOptions()
+	if kind == "bcast" {
+		opt.Protocol = sim.Broadcast
+	} else {
+		opt.Predictors = r.predictorsFor(bench, kind)
+	}
+	res, err := sim.Run(r.program(bench), opt)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %s: %v", key, err))
+	}
+	r.results[key] = res
+	return res
+}
+
+// Analysis executes (or recalls) the trace-collection run for a benchmark
+// and digests it (the paper's §3.2 methodology: a baseline-directory run
+// with trace capture).
+func (r *Runner) Analysis(bench string) *charac.Analysis {
+	if a, ok := r.analyses[bench]; ok {
+		return a
+	}
+	col := &trace.Collector{}
+	opt := sim.DefaultOptions()
+	opt.Tracer = col
+	if _, err := sim.Run(r.program(bench), opt); err != nil {
+		panic(fmt.Sprintf("experiments: trace %s: %v", bench, err))
+	}
+	a := charac.Analyze(col.Events, r.Cfg.Threads)
+	r.analyses[bench] = a
+	return a
+}
+
+// Benchmarks returns the benchmark list in paper order.
+func Benchmarks() []string { return workload.Names() }

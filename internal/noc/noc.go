@@ -1,0 +1,254 @@
+// Package noc models the on-chip interconnect: a 2D mesh with wormhole
+// switching, deterministic X-Y routing, 2-stage pipelined routers and
+// single-cycle links (paper Table 4).
+//
+// The model is packet-granular: a packet of F flits occupies each link on
+// its path for F cycles (serialization), links are occupied in path order,
+// and a packet departing onto a busy link waits for the link to drain
+// (contention). Router traversal adds a fixed pipeline delay per hop. This
+// captures the three quantities the paper's evaluation depends on — per-hop
+// latency, serialization bandwidth, and congestion — without simulating
+// individual flits or virtual channels.
+package noc
+
+import (
+	"fmt"
+
+	"spcoh/internal/arch"
+	"spcoh/internal/event"
+)
+
+// Config describes the mesh geometry and timing.
+type Config struct {
+	Width, Height int        // mesh dimensions (Width*Height nodes)
+	RouterDelay   event.Time // pipeline stages per router traversal (cycles)
+	LinkDelay     event.Time // wire traversal per hop (cycles)
+	FlitBytes     int        // bytes carried per flit
+	HeaderFlits   int        // flits of header/routing overhead per packet
+}
+
+// DefaultConfig is the paper's 4x4 mesh: 2-stage routers, 1-cycle links,
+// 16-byte flits, one header flit.
+func DefaultConfig() Config {
+	return Config{Width: 4, Height: 4, RouterDelay: 2, LinkDelay: 1, FlitBytes: 16, HeaderFlits: 1}
+}
+
+// Nodes returns the number of mesh endpoints.
+func (c Config) Nodes() int { return c.Width * c.Height }
+
+// Stats aggregates network activity for bandwidth and energy accounting.
+type Stats struct {
+	Packets     uint64 // packets injected
+	Bytes       uint64 // payload+header bytes injected (per-packet, not per-hop)
+	FlitHops    uint64 // flits × links traversed (energy ∝ this)
+	RouterHops  uint64 // packet × routers traversed
+	TotalLat    uint64 // accumulated packet latencies (cycles)
+	StallCycles uint64 // cycles packets spent waiting on busy links
+}
+
+// AvgLatency returns the mean packet latency.
+func (s *Stats) AvgLatency() float64 {
+	if s.Packets == 0 {
+		return 0
+	}
+	return float64(s.TotalLat) / float64(s.Packets)
+}
+
+// Network is a mesh instance bound to a simulator clock.
+type Network struct {
+	cfg Config
+	sim *event.Sim
+	// busyUntil[l] is the cycle at which directed link l becomes free.
+	busyUntil []event.Time
+	stats     Stats
+}
+
+// New builds a network over the given simulator.
+func New(sim *event.Sim, cfg Config) *Network {
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		panic("noc: non-positive mesh dimensions")
+	}
+	if cfg.Nodes() > arch.MaxNodes {
+		panic(fmt.Sprintf("noc: %d nodes exceeds arch.MaxNodes", cfg.Nodes()))
+	}
+	// 4 directed links per node (N,E,S,W); edge links exist but are unused.
+	return &Network{cfg: cfg, sim: sim, busyUntil: make([]event.Time, cfg.Nodes()*4)}
+}
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Stats returns a snapshot of accumulated statistics.
+func (n *Network) Stats() Stats { return n.stats }
+
+// XY returns the mesh coordinates of a node.
+func (n *Network) XY(id arch.NodeID) (x, y int) {
+	return int(id) % n.cfg.Width, int(id) / n.cfg.Width
+}
+
+// NodeAt returns the node at mesh coordinates (x, y).
+func (n *Network) NodeAt(x, y int) arch.NodeID {
+	return arch.NodeID(y*n.cfg.Width + x)
+}
+
+// Hops returns the Manhattan distance between two nodes.
+func (n *Network) Hops(a, b arch.NodeID) int {
+	ax, ay := n.XY(a)
+	bx, by := n.XY(b)
+	return abs(ax-bx) + abs(ay-by)
+}
+
+const (
+	dirEast = iota
+	dirWest
+	dirNorth
+	dirSouth
+)
+
+// linkIndex identifies the directed link leaving node id in direction dir.
+func (n *Network) linkIndex(id arch.NodeID, dir int) int { return int(id)*4 + dir }
+
+// Route returns the sequence of directed links a packet traverses from src
+// to dst under X-Y (dimension-ordered) routing. Empty for src == dst.
+func (n *Network) Route(src, dst arch.NodeID) []int {
+	if src == dst {
+		return nil
+	}
+	links := make([]int, 0, n.Hops(src, dst))
+	x, y := n.XY(src)
+	dx, dy := n.XY(dst)
+	cur := src
+	for x != dx {
+		var dir int
+		if x < dx {
+			dir, x = dirEast, x+1
+		} else {
+			dir, x = dirWest, x-1
+		}
+		links = append(links, n.linkIndex(cur, dir))
+		cur = n.NodeAt(x, y)
+	}
+	for y != dy {
+		var dir int
+		if y < dy {
+			dir, y = dirSouth, y+1
+		} else {
+			dir, y = dirNorth, y-1
+		}
+		links = append(links, n.linkIndex(cur, dir))
+		cur = n.NodeAt(x, y)
+	}
+	return links
+}
+
+// Flits returns the number of flits (header + payload) for a payload of the
+// given byte size.
+func (n *Network) Flits(payloadBytes int) int {
+	f := n.cfg.HeaderFlits
+	f += (payloadBytes + n.cfg.FlitBytes - 1) / n.cfg.FlitBytes
+	if f < 1 {
+		f = 1
+	}
+	return f
+}
+
+// Send injects a packet of payloadBytes from src to dst and schedules
+// deliver at the arrival time. Local delivery (src == dst) costs a fixed
+// router traversal. Send accounts all bandwidth/energy statistics.
+func (n *Network) Send(src, dst arch.NodeID, payloadBytes int, deliver func()) {
+	now := n.sim.Now()
+	flits := n.Flits(payloadBytes)
+	bytes := uint64(flits * n.cfg.FlitBytes)
+	n.stats.Packets++
+	n.stats.Bytes += bytes
+
+	if src == dst {
+		n.stats.TotalLat += uint64(n.cfg.RouterDelay)
+		n.sim.After(n.cfg.RouterDelay, deliver)
+		return
+	}
+
+	route := n.Route(src, dst)
+	// Head-flit time advances hop by hop; each link is held for the packet's
+	// serialization time starting when the head flit enters it.
+	head := now + n.cfg.RouterDelay // source router/injection
+	ser := event.Time(flits) * n.cfg.LinkDelay
+	for _, l := range route {
+		if n.busyUntil[l] > head {
+			n.stats.StallCycles += uint64(n.busyUntil[l] - head)
+			head = n.busyUntil[l]
+		}
+		n.busyUntil[l] = head + ser
+		head += n.cfg.LinkDelay + n.cfg.RouterDelay // head flit: wire + next router
+		n.stats.FlitHops += uint64(flits)
+		n.stats.RouterHops++
+	}
+	// Tail flit trails the head by the serialization time of the last link.
+	arrival := head + ser - n.cfg.LinkDelay
+	if arrival < head {
+		arrival = head
+	}
+	n.stats.TotalLat += uint64(arrival - now)
+	n.sim.At(arrival, deliver)
+}
+
+// Multicast sends an identical packet to every member of dsts, invoking
+// deliver(node) at each arrival. Replication happens at the source (no
+// in-network multicast trees), matching the paper's multicast cost model
+// for *predicted* requests, which target a handful of nodes.
+func (n *Network) Multicast(src arch.NodeID, dsts arch.SharerSet, payloadBytes int, deliver func(arch.NodeID)) {
+	dsts.ForEach(func(d arch.NodeID) {
+		n.Send(src, d, payloadBytes, func() { deliver(d) })
+	})
+}
+
+// Broadcast delivers a packet to every member of dsts along an in-network
+// multicast tree: the union of the X-Y routes, with each tree link carrying
+// the packet exactly once. This models the replicating, totally-ordered
+// fabric the paper assumes for its snooping comparison (§5.1); source-side
+// replication would serialize 15 packets through one injection port and
+// unfairly penalize broadcast.
+func (n *Network) Broadcast(src arch.NodeID, dsts arch.SharerSet, payloadBytes int, deliver func(arch.NodeID)) {
+	now := n.sim.Now()
+	flits := n.Flits(payloadBytes)
+	ser := event.Time(flits) * n.cfg.LinkDelay
+	// headAfter[l] is the head-flit time just after traversing tree link l.
+	headAfter := make(map[int]event.Time)
+	n.stats.Packets++
+	n.stats.Bytes += uint64(flits * n.cfg.FlitBytes)
+	dsts.ForEach(func(d arch.NodeID) {
+		if d == src {
+			n.sim.After(n.cfg.RouterDelay, func() { deliver(d) })
+			return
+		}
+		head := now + n.cfg.RouterDelay
+		for _, l := range n.Route(src, d) {
+			if h, ok := headAfter[l]; ok {
+				head = h // link already carries the packet for this subtree
+				continue
+			}
+			if n.busyUntil[l] > head {
+				n.stats.StallCycles += uint64(n.busyUntil[l] - head)
+				head = n.busyUntil[l]
+			}
+			n.busyUntil[l] = head + ser
+			head += n.cfg.LinkDelay + n.cfg.RouterDelay
+			headAfter[l] = head
+			n.stats.FlitHops += uint64(flits)
+			n.stats.RouterHops++
+		}
+		arrival := head + ser - n.cfg.LinkDelay
+		if arrival < head {
+			arrival = head
+		}
+		n.stats.TotalLat += uint64(arrival - now)
+		n.sim.At(arrival, func() { deliver(d) })
+	})
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

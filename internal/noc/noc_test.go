@@ -1,0 +1,232 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spcoh/internal/arch"
+	"spcoh/internal/event"
+)
+
+func newNet() (*event.Sim, *Network) {
+	sim := event.New()
+	return sim, New(sim, DefaultConfig())
+}
+
+func TestCoordinates(t *testing.T) {
+	_, n := newNet()
+	x, y := n.XY(0)
+	if x != 0 || y != 0 {
+		t.Fatalf("XY(0) = %d,%d", x, y)
+	}
+	x, y = n.XY(5)
+	if x != 1 || y != 1 {
+		t.Fatalf("XY(5) = %d,%d", x, y)
+	}
+	if n.NodeAt(3, 3) != 15 {
+		t.Fatalf("NodeAt(3,3) = %d", n.NodeAt(3, 3))
+	}
+	for id := arch.NodeID(0); id < 16; id++ {
+		x, y := n.XY(id)
+		if n.NodeAt(x, y) != id {
+			t.Fatalf("coordinate round trip failed for %d", id)
+		}
+	}
+}
+
+func TestHops(t *testing.T) {
+	_, n := newNet()
+	cases := []struct {
+		a, b arch.NodeID
+		want int
+	}{
+		{0, 0, 0}, {0, 1, 1}, {0, 3, 3}, {0, 15, 6}, {5, 10, 2}, {12, 3, 6},
+	}
+	for _, c := range cases {
+		if got := n.Hops(c.a, c.b); got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRouteLengthAndXYOrder(t *testing.T) {
+	_, n := newNet()
+	for src := arch.NodeID(0); src < 16; src++ {
+		for dst := arch.NodeID(0); dst < 16; dst++ {
+			r := n.Route(src, dst)
+			if len(r) != n.Hops(src, dst) {
+				t.Fatalf("route %d->%d has %d links, want %d", src, dst, len(r), n.Hops(src, dst))
+			}
+		}
+	}
+	// X-Y routing: 0 -> 10 goes east twice then south twice.
+	r := n.Route(0, 10)
+	want := []int{
+		0*4 + dirEast, // node 0 east
+		1*4 + dirEast, // node 1 east
+		2*4 + dirSouth,
+		6*4 + dirSouth,
+	}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("route 0->10 = %v, want %v", r, want)
+		}
+	}
+}
+
+func TestFlits(t *testing.T) {
+	_, n := newNet()
+	if got := n.Flits(0); got != 1 {
+		t.Fatalf("Flits(0) = %d, want 1 (header)", got)
+	}
+	if got := n.Flits(8); got != 2 {
+		t.Fatalf("Flits(8) = %d, want 2", got)
+	}
+	if got := n.Flits(64); got != 5 {
+		t.Fatalf("Flits(64) = %d, want 5", got)
+	}
+}
+
+func TestSendLatencyUncontended(t *testing.T) {
+	sim, n := newNet()
+	var arrived event.Time
+	// 0 -> 1: one hop. Control packet (8B payload = 2 flits).
+	n.Send(0, 1, 8, func() { arrived = sim.Now() })
+	sim.Run()
+	// router(2) + link(1) + router(2) + tail trailing (ser 2 flits*1 - 1) = 6
+	cfg := DefaultConfig()
+	ser := event.Time(2) * cfg.LinkDelay
+	want := cfg.RouterDelay + cfg.LinkDelay + cfg.RouterDelay + ser - cfg.LinkDelay
+	if arrived != want {
+		t.Fatalf("arrival = %d, want %d", arrived, want)
+	}
+}
+
+func TestSendLocal(t *testing.T) {
+	sim, n := newNet()
+	var arrived event.Time
+	n.Send(3, 3, 64, func() { arrived = sim.Now() })
+	sim.Run()
+	if arrived != DefaultConfig().RouterDelay {
+		t.Fatalf("local delivery at %d, want %d", arrived, DefaultConfig().RouterDelay)
+	}
+	if n.Stats().FlitHops != 0 {
+		t.Fatal("local delivery should traverse no links")
+	}
+}
+
+func TestContentionSerializes(t *testing.T) {
+	sim, n := newNet()
+	var first, second event.Time
+	// Two max-size packets on the same link back to back.
+	n.Send(0, 1, 64, func() { first = sim.Now() })
+	n.Send(0, 1, 64, func() { second = sim.Now() })
+	sim.Run()
+	if second <= first {
+		t.Fatalf("contended packet arrived at %d, not after %d", second, first)
+	}
+	if n.Stats().StallCycles == 0 {
+		t.Fatal("expected stall cycles under contention")
+	}
+	// Uncontended paths don't interact.
+	sim2, n2 := newNet()
+	var a, b event.Time
+	n2.Send(0, 1, 64, func() { a = sim2.Now() })
+	n2.Send(4, 5, 64, func() { b = sim2.Now() })
+	sim2.Run()
+	if a != b {
+		t.Fatalf("disjoint paths should have equal latency: %d vs %d", a, b)
+	}
+}
+
+func TestFartherIsSlower(t *testing.T) {
+	sim, n := newNet()
+	var near, far event.Time
+	n.Send(0, 1, 8, func() { near = sim.Now() })
+	n.Send(0, 15, 8, func() { far = sim.Now() })
+	sim.Run()
+	if far <= near {
+		t.Fatalf("6-hop (%d) should be slower than 1-hop (%d)", far, near)
+	}
+}
+
+func TestMulticast(t *testing.T) {
+	sim, n := newNet()
+	got := arch.EmptySet
+	dsts := arch.SetOf(1, 4, 15)
+	n.Multicast(0, dsts, 8, func(d arch.NodeID) { got = got.Add(d) })
+	sim.Run()
+	if got != dsts {
+		t.Fatalf("multicast delivered to %v, want %v", got, dsts)
+	}
+	if n.Stats().Packets != 3 {
+		t.Fatalf("packets = %d, want 3", n.Stats().Packets)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	sim, n := newNet()
+	n.Send(0, 3, 64, func() {}) // 3 hops, 5 flits
+	sim.Run()
+	s := n.Stats()
+	if s.FlitHops != 15 {
+		t.Fatalf("flit-hops = %d, want 15", s.FlitHops)
+	}
+	if s.RouterHops != 3 {
+		t.Fatalf("router-hops = %d, want 3", s.RouterHops)
+	}
+	if s.Bytes != 5*16 {
+		t.Fatalf("bytes = %d, want 80", s.Bytes)
+	}
+	if s.AvgLatency() <= 0 {
+		t.Fatal("avg latency should be positive")
+	}
+}
+
+// Property: latency grows monotonically with hop count on an idle network.
+func TestPropertyLatencyMonotoneInDistance(t *testing.T) {
+	f := func(aRaw, bRaw uint8) bool {
+		a := arch.NodeID(aRaw % 16)
+		b := arch.NodeID(bRaw % 16)
+		simA, nA := newNet()
+		var tA event.Time
+		nA.Send(0, a, 8, func() { tA = simA.Now() })
+		simA.Run()
+		simB, nB := newNet()
+		var tB event.Time
+		nB.Send(0, b, 8, func() { tB = simB.Now() })
+		simB.Run()
+		if nA.Hops(0, a) < nB.Hops(0, b) {
+			return tA < tB
+		}
+		if nA.Hops(0, a) == nB.Hops(0, b) {
+			return tA == tB
+		}
+		return tA > tB
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every route under X-Y routing is minimal and loop-free
+// (each directed link appears at most once).
+func TestPropertyRoutesLoopFree(t *testing.T) {
+	f := func(sRaw, dRaw uint8) bool {
+		_, n := newNet()
+		src := arch.NodeID(sRaw % 16)
+		dst := arch.NodeID(dRaw % 16)
+		r := n.Route(src, dst)
+		seen := make(map[int]bool)
+		for _, l := range r {
+			if seen[l] {
+				return false
+			}
+			seen[l] = true
+		}
+		return len(r) == n.Hops(src, dst)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

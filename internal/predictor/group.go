@@ -1,0 +1,289 @@
+package predictor
+
+import (
+	"container/list"
+	"fmt"
+
+	"spcoh/internal/arch"
+)
+
+// Policy selects how a group predictor turns its counters into a predicted
+// set (Martin et al.'s design space, referenced in the paper's §5.4
+// footnote: "other prediction policies such as 'owner' or 'group/owner'
+// can also be used").
+type Policy uint8
+
+const (
+	// PolicyGroup predicts every core whose counter meets the threshold
+	// (the paper's evaluated configuration).
+	PolicyGroup Policy = iota
+	// PolicyOwner predicts only the single highest-counter core — minimal
+	// bandwidth, single-target accuracy.
+	PolicyOwner
+	// PolicyGroupOwner predicts the owner for reads (one supplier
+	// suffices) and the group for writes (all sharers must go).
+	PolicyGroupOwner
+)
+
+// GroupConfig parameterizes a Martin-style "group" destination-set
+// predictor (paper §5.4): per entry one 2-bit saturating counter per core,
+// trained up by observed coherence activity toward that core, plus a 5-bit
+// roll-over counter implementing train-down so inactive destinations decay.
+type GroupConfig struct {
+	// Policy selects the prediction policy (default PolicyGroup).
+	Policy Policy
+
+	Nodes int // number of cores (counter vector width)
+	// IndexGranularityBits selects address-based indexing: entries are
+	// keyed by addr >> IndexGranularityBits. The paper's ADDR predictor
+	// uses 256-byte macroblocks (8 bits). Zero means index by PC instead
+	// (the INST predictor).
+	IndexGranularityBits int
+	ByPC                 bool
+	// Entries caps the table size (fully-associative LRU replacement);
+	// 0 means unlimited, the Figure-12 configuration.
+	Entries int
+	// CounterMax is the saturating ceiling (3 for 2-bit counters).
+	CounterMax uint8
+	// Threshold is the minimum counter value for a core to join the
+	// predicted group (2 in the paper's configuration).
+	Threshold uint8
+	// TrainDownPeriod is the roll-over period: after this many training
+	// events on an entry, every counter in the entry decays by one.
+	// 32 models the paper's 5-bit roll-over counter.
+	TrainDownPeriod uint8
+}
+
+// DefaultAddrConfig is the paper's macroblock ADDR predictor.
+func DefaultAddrConfig(nodes int) GroupConfig {
+	return GroupConfig{Nodes: nodes, IndexGranularityBits: 8, CounterMax: 3, Threshold: 2, TrainDownPeriod: 32}
+}
+
+// DefaultInstConfig is the paper's INST (PC-indexed) predictor.
+func DefaultInstConfig(nodes int) GroupConfig {
+	return GroupConfig{Nodes: nodes, ByPC: true, CounterMax: 3, Threshold: 2, TrainDownPeriod: 32}
+}
+
+type groupEntry struct {
+	counters []uint8
+	roll     uint8
+	key      uint64
+	lru      *list.Element
+}
+
+// Group is a group destination-set predictor (ADDR or INST depending on
+// configuration). It is per-node state: each core owns one instance.
+type Group struct {
+	name string
+	self arch.NodeID
+	cfg  GroupConfig
+	tab  map[uint64]*groupEntry
+	lru  *list.List // front = most recent; elements hold *groupEntry
+}
+
+// NewGroup builds a group predictor for the given node.
+func NewGroup(name string, self arch.NodeID, cfg GroupConfig) *Group {
+	if cfg.Nodes <= 0 {
+		panic("predictor: GroupConfig.Nodes must be positive")
+	}
+	return &Group{name: name, self: self, cfg: cfg, tab: make(map[uint64]*groupEntry), lru: list.New()}
+}
+
+// NewAddr builds the paper's ADDR predictor (unlimited entries).
+func NewAddr(self arch.NodeID, nodes int) *Group {
+	return NewGroup("ADDR", self, DefaultAddrConfig(nodes))
+}
+
+// NewInst builds the paper's INST predictor (unlimited entries).
+func NewInst(self arch.NodeID, nodes int) *Group {
+	return NewGroup("INST", self, DefaultInstConfig(nodes))
+}
+
+// Name implements Predictor.
+func (g *Group) Name() string { return g.name }
+
+func (g *Group) key(m Miss) uint64 {
+	if g.cfg.ByPC {
+		return m.PC
+	}
+	// Line addresses are already byte-address >> 6; shift the remainder.
+	shift := g.cfg.IndexGranularityBits - arch.LineShift
+	if shift < 0 {
+		shift = 0
+	}
+	return uint64(m.Line) >> uint(shift)
+}
+
+func (g *Group) lookup(key uint64, create bool) *groupEntry {
+	if e, ok := g.tab[key]; ok {
+		if e.lru != nil {
+			g.lru.MoveToFront(e.lru)
+		}
+		return e
+	}
+	if !create {
+		return nil
+	}
+	e := &groupEntry{counters: make([]uint8, g.cfg.Nodes), key: key}
+	g.tab[key] = e
+	e.lru = g.lru.PushFront(e)
+	if g.cfg.Entries > 0 && g.lru.Len() > g.cfg.Entries {
+		victim := g.lru.Back().Value.(*groupEntry)
+		g.lru.Remove(victim.lru)
+		delete(g.tab, victim.key)
+	}
+	return e
+}
+
+// Predict implements Predictor: the entry's counters filtered through the
+// configured policy. A missing entry yields no prediction.
+func (g *Group) Predict(m Miss) (arch.SharerSet, Tag) {
+	e := g.lookup(g.key(m), false)
+	if e == nil {
+		return arch.EmptySet, TagNone
+	}
+	ownerOnly := g.cfg.Policy == PolicyOwner ||
+		(g.cfg.Policy == PolicyGroupOwner && m.Kind == ReadMiss)
+	var set arch.SharerSet
+	if ownerOnly {
+		best, bestC := arch.None, uint8(0)
+		for i, c := range e.counters {
+			if arch.NodeID(i) != g.self && c >= g.cfg.Threshold && c > bestC {
+				best, bestC = arch.NodeID(i), c
+			}
+		}
+		if best != arch.None {
+			set = set.Add(best)
+		}
+	} else {
+		for i, c := range e.counters {
+			if arch.NodeID(i) != g.self && c >= g.cfg.Threshold {
+				set = set.Add(arch.NodeID(i))
+			}
+		}
+	}
+	if set.Empty() {
+		return arch.EmptySet, TagNone
+	}
+	return set, TagOther
+}
+
+func (g *Group) trainEntry(e *groupEntry, targets arch.SharerSet) {
+	targets.ForEach(func(n arch.NodeID) {
+		if n == g.self {
+			return
+		}
+		if e.counters[n] < g.cfg.CounterMax {
+			e.counters[n]++
+		}
+	})
+	e.roll++
+	if e.roll >= g.cfg.TrainDownPeriod {
+		e.roll = 0
+		for i := range e.counters {
+			if e.counters[i] > 0 {
+				e.counters[i]--
+			}
+		}
+	}
+}
+
+// Train implements Predictor: trains the entry toward the observed targets.
+func (g *Group) Train(m Miss, o Outcome) {
+	g.trainEntry(g.lookup(g.key(m), true), o.Targets())
+}
+
+// TrainExternal trains from an incoming coherence request: requester asked
+// this node about line. Only address-indexed groups can use this signal
+// (external requests carry no local PC), matching the paper's observation
+// that ADDR/INST train on "both external coherence requests and coherence
+// responses" where applicable.
+func (g *Group) TrainExternal(line arch.LineAddr, requester arch.NodeID) {
+	if g.cfg.ByPC {
+		return
+	}
+	e := g.lookup(g.key(Miss{Line: line}), true)
+	g.trainEntry(e, arch.SetOf(requester))
+}
+
+// OnSync implements Predictor; group predictors ignore sync-points.
+func (g *Group) OnSync(SyncEvent) {}
+
+// StorageBits implements Predictor: 2 bits per core plus the 5-bit
+// roll-over counter per entry, plus a tag per entry (paper §5.4: 37 bits
+// untagged for 16 cores; tags add 32 bits).
+func (g *Group) StorageBits() int {
+	perEntry := 2*g.cfg.Nodes + 5 + 32
+	n := len(g.tab)
+	if g.cfg.Entries > 0 {
+		n = g.cfg.Entries
+	}
+	return n * perEntry
+}
+
+// Len returns the current number of table entries (test aid).
+func (g *Group) Len() int { return len(g.tab) }
+
+// Uni is the paper's UNI predictor: a single untagged group entry trained
+// only by the targets of this core's own misses (coherence responses),
+// independent of address or instruction — pure temporal communication
+// locality, the cheapest possible design point.
+type Uni struct {
+	self arch.NodeID
+	cfg  GroupConfig
+	e    groupEntry
+}
+
+// NewUni builds a UNI predictor for the given node.
+func NewUni(self arch.NodeID, nodes int) *Uni {
+	cfg := DefaultAddrConfig(nodes)
+	return &Uni{self: self, cfg: cfg, e: groupEntry{counters: make([]uint8, nodes)}}
+}
+
+// Name implements Predictor.
+func (u *Uni) Name() string { return "UNI" }
+
+// Predict implements Predictor.
+func (u *Uni) Predict(Miss) (arch.SharerSet, Tag) {
+	var set arch.SharerSet
+	for i, c := range u.e.counters {
+		if arch.NodeID(i) != u.self && c >= u.cfg.Threshold {
+			set = set.Add(arch.NodeID(i))
+		}
+	}
+	if set.Empty() {
+		return arch.EmptySet, TagNone
+	}
+	return set, TagOther
+}
+
+// Train implements Predictor.
+func (u *Uni) Train(_ Miss, o Outcome) {
+	targets := o.Targets()
+	targets.ForEach(func(n arch.NodeID) {
+		if n == u.self {
+			return
+		}
+		if u.e.counters[n] < u.cfg.CounterMax {
+			u.e.counters[n]++
+		}
+	})
+	u.e.roll++
+	if u.e.roll >= u.cfg.TrainDownPeriod {
+		u.e.roll = 0
+		for i := range u.e.counters {
+			if u.e.counters[i] > 0 {
+				u.e.counters[i]--
+			}
+		}
+	}
+}
+
+// OnSync implements Predictor.
+func (u *Uni) OnSync(SyncEvent) {}
+
+// StorageBits implements Predictor: one untagged entry.
+func (u *Uni) StorageBits() int { return 2*u.cfg.Nodes + 5 }
+
+// String aids debugging.
+func (u *Uni) String() string { return fmt.Sprintf("UNI(node %d)", u.self) }

@@ -1,0 +1,170 @@
+// Package predictor defines the destination-set prediction framework: the
+// interface every coherence target predictor implements, the miss/outcome
+// vocabulary used for prediction and training, and the baseline predictors
+// the paper compares against (UNI, ADDR, INST — the "group" destination-set
+// predictors of Martin et al., ISCA 2003, as configured in the paper's §5.4).
+//
+// The paper's own SP-predictor lives in internal/core and implements the
+// same interface.
+package predictor
+
+import "spcoh/internal/arch"
+
+// MissKind classifies a coherence request.
+type MissKind uint8
+
+const (
+	ReadMiss    MissKind = iota // GetS
+	WriteMiss                   // GetM without a valid local copy
+	UpgradeMiss                 // GetM while holding a Shared copy
+)
+
+// String returns a short name.
+func (k MissKind) String() string {
+	switch k {
+	case ReadMiss:
+		return "read"
+	case WriteMiss:
+		return "write"
+	case UpgradeMiss:
+		return "upgrade"
+	default:
+		return "?"
+	}
+}
+
+// Miss describes an L2 miss at prediction time.
+type Miss struct {
+	Node arch.NodeID   // requesting node
+	Line arch.LineAddr // referenced cache line
+	PC   uint64        // static instruction issuing the access
+	Kind MissKind
+}
+
+// Outcome describes how a miss was actually satisfied, for training.
+type Outcome struct {
+	// Provider is the cache that supplied data, or arch.None if memory did
+	// (or no data was needed, as for upgrades).
+	Provider arch.NodeID
+	// Invalidated is the set of caches invalidated by a write/upgrade.
+	Invalidated arch.SharerSet
+	// Communicating reports whether the miss contacted at least one other
+	// cache (the paper's "communicating miss").
+	Communicating bool
+}
+
+// Targets returns the full set of nodes the miss had to communicate with.
+func (o Outcome) Targets() arch.SharerSet {
+	s := o.Invalidated
+	if o.Provider != arch.None {
+		s = s.Add(o.Provider)
+	}
+	return s
+}
+
+// Tag labels the information source behind one prediction, for the accuracy
+// breakdown of the paper's Figure 7.
+type Tag uint8
+
+const (
+	TagNone     Tag = iota // no prediction made (fall back to directory)
+	TagD0                  // current-interval hot set, no history (d=0)
+	TagHistory             // hot set recalled from SP-table history (d>=1)
+	TagLock                // lock sync-point: last holder(s) of the lock
+	TagRecovery            // predictor rebuilt after a confidence alert
+	TagOther               // non-SP predictors (ADDR/INST/UNI)
+)
+
+// String returns the Figure-7 legend name.
+func (t Tag) String() string {
+	switch t {
+	case TagNone:
+		return "none"
+	case TagD0:
+		return "d=0"
+	case TagHistory:
+		return "d=2"
+	case TagLock:
+		return "lock"
+	case TagRecovery:
+		return "recovery"
+	case TagOther:
+		return "other"
+	default:
+		return "?"
+	}
+}
+
+// SyncKind classifies a synchronization point (paper §3.1).
+type SyncKind uint8
+
+const (
+	SyncBarrier SyncKind = iota
+	SyncLock
+	SyncUnlock
+	SyncJoin
+	SyncWakeup
+	SyncBroadcast
+)
+
+// String returns the paper's name for the sync kind.
+func (k SyncKind) String() string {
+	switch k {
+	case SyncBarrier:
+		return "barrier"
+	case SyncLock:
+		return "lock"
+	case SyncUnlock:
+		return "unlock"
+	case SyncJoin:
+		return "join"
+	case SyncWakeup:
+		return "wakeup"
+	case SyncBroadcast:
+		return "broadcast"
+	default:
+		return "?"
+	}
+}
+
+// SyncEvent is a sync-point occurrence exposed to the hardware (paper §4.1):
+// the kind plus the static ID (calling PC, or lock address for lock points).
+type SyncEvent struct {
+	Node     arch.NodeID
+	Kind     SyncKind
+	StaticID uint64 // PC of the sync call site, or lock variable address
+}
+
+// Predictor is a per-node coherence destination-set predictor.
+//
+// Predict must not mutate training state (it may read it); Train is called
+// once per completed miss with the authoritative outcome observed from the
+// directory's responses. OnSync delivers sync-points captured at this node;
+// non-SP predictors ignore it.
+type Predictor interface {
+	Name() string
+	Predict(m Miss) (arch.SharerSet, Tag)
+	Train(m Miss, o Outcome)
+	OnSync(e SyncEvent)
+	// StorageBits returns the predictor's table storage in bits, for the
+	// space-efficiency comparisons of Figures 12-13.
+	StorageBits() int
+}
+
+// Null is the no-prediction predictor: the baseline directory protocol.
+type Null struct{}
+
+// Name implements Predictor.
+func (Null) Name() string { return "directory" }
+
+// Predict implements Predictor; it never predicts.
+func (Null) Predict(Miss) (arch.SharerSet, Tag) { return arch.EmptySet, TagNone }
+
+// Train implements Predictor.
+func (Null) Train(Miss, Outcome) {}
+
+// OnSync implements Predictor.
+func (Null) OnSync(SyncEvent) {}
+
+// StorageBits implements Predictor.
+func (Null) StorageBits() int { return 0 }

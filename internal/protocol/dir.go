@@ -1,0 +1,381 @@
+package protocol
+
+import (
+	"fmt"
+
+	"spcoh/internal/arch"
+	"spcoh/internal/cache"
+	"spcoh/internal/predictor"
+)
+
+// dirState is the stable directory state of a line.
+type dirState uint8
+
+const (
+	dirU dirState = iota // uncached: memory owns the only copy
+	dirS                 // one or more shared copies; fwd may hold F
+	dirE                 // one cache owns the line (E or M locally)
+)
+
+func (s dirState) String() string {
+	switch s {
+	case dirU:
+		return "U"
+	case dirS:
+		return "S"
+	default:
+		return "E"
+	}
+}
+
+// dirLine is the full-map directory entry for one cache line.
+type dirLine struct {
+	state   dirState
+	owner   arch.NodeID    // valid in dirE
+	sharers arch.SharerSet // valid in dirS
+	fwd     arch.NodeID    // F-state holder within sharers; None = memory supplies
+	busy    bool           // a Get transaction is in flight
+	queue   []Msg          // requests waiting for the line to go idle
+
+	// pendingSupplier is, during a busy transaction whose data plan relies
+	// on a predicted forwarder, the node expected to supply; a GetRetry is
+	// repaired by a directory-issued forward to it.
+	pendingSupplier arch.NodeID
+}
+
+// DirSlice is one tile's directory slice. Lines are materialized lazily:
+// an absent entry means dirU.
+type DirSlice struct {
+	sys   *System
+	self  arch.NodeID
+	lines map[arch.LineAddr]*dirLine
+}
+
+func newDirSlice(sys *System, self arch.NodeID) *DirSlice {
+	return &DirSlice{sys: sys, self: self, lines: make(map[arch.LineAddr]*dirLine)}
+}
+
+func (d *DirSlice) line(l arch.LineAddr) *dirLine {
+	e, ok := d.lines[l]
+	if !ok {
+		e = &dirLine{state: dirU, owner: arch.None, fwd: arch.None, pendingSupplier: arch.None}
+		d.lines[l] = e
+	}
+	return e
+}
+
+// handle processes a directory-bound message.
+func (d *DirSlice) handle(m Msg) {
+	switch m.Kind {
+	case MsgGetS, MsgGetM:
+		e := d.line(m.Line)
+		if e.busy {
+			e.queue = append(e.queue, m)
+			return
+		}
+		d.startGet(e, m)
+	case MsgPutS, MsgPutE, MsgPutM:
+		e := d.line(m.Line)
+		if e.busy {
+			e.queue = append(e.queue, m)
+			return
+		}
+		d.handlePut(e, m)
+	case MsgUnblock:
+		e := d.line(m.Line)
+		e.busy = false
+		e.pendingSupplier = arch.None
+		d.drain(e, m.Line)
+	case MsgGetRetry:
+		// The requester's transaction already holds the line busy and the
+		// state transition is done; replay the data delivery through the
+		// registered supplier (which also repairs its downgrade or
+		// invalidation), or from memory if none is registered.
+		e := d.line(m.Line)
+		if e.pendingSupplier != arch.None && e.pendingSupplier != m.Requester {
+			kind := MsgFwdGetS
+			if m.MissKind != predictor.ReadMiss {
+				kind = MsgFwdGetM
+			}
+			d.reply(Msg{Kind: kind, Dst: e.pendingSupplier, Line: m.Line,
+				Requester: m.Requester, MissKind: m.MissKind})
+		} else {
+			d.memData(m, false, 0)
+		}
+	case MsgDirUpd, MsgWriteback:
+		// Bandwidth/energy accounting only: the authoritative state change
+		// happens when the companion request is processed.
+	default:
+		panic(fmt.Sprintf("dir %d: unexpected message %v", d.self, m.Kind))
+	}
+}
+
+// drain processes queued requests until one marks the line busy again.
+func (d *DirSlice) drain(e *dirLine, l arch.LineAddr) {
+	for len(e.queue) > 0 && !e.busy {
+		m := e.queue[0]
+		e.queue = e.queue[1:]
+		switch m.Kind {
+		case MsgGetS, MsgGetM:
+			d.startGet(e, m)
+		default:
+			d.handlePut(e, m)
+		}
+	}
+}
+
+// startGet begins a Get transaction after the directory access latency.
+func (d *DirSlice) startGet(e *dirLine, m Msg) {
+	e.busy = true
+	d.sys.Sim.After(d.sys.Cfg.DirLatency, func() {
+		if m.Kind == MsgGetS {
+			d.processGetS(e, m)
+		} else {
+			d.processGetM(e, m)
+		}
+	})
+}
+
+// reply sends a message originating at this directory slice.
+func (d *DirSlice) reply(m Msg) {
+	m.Src = d.self
+	d.sys.send(m)
+}
+
+// memData schedules a memory fetch and then a data response to the
+// requester. The line stays busy until the requester unblocks.
+func (d *DirSlice) memData(m Msg, excl bool, acks int) {
+	d.sys.Sim.After(d.sys.Cfg.MemLatency, func() {
+		d.reply(Msg{
+			Kind: MsgData, Dst: m.Requester, Line: m.Line, Requester: m.Requester,
+			Excl: excl, FromMem: true, AckCount: acks, MissKind: m.MissKind,
+		})
+	})
+}
+
+// processGetS services a read miss. The directory determines, from its own
+// serialized view, whether the predicted set was sufficient (§4.5); if so
+// the predicted holder has already forwarded data and the directory only
+// updates state and confirms.
+func (d *DirSlice) processGetS(e *dirLine, m Msg) {
+	req := m.Requester
+	var supplier arch.NodeID = arch.None
+	switch e.state {
+	case dirE:
+		supplier = e.owner
+	case dirS:
+		supplier = e.fwd
+	}
+	communicating := supplier != arch.None && supplier != req
+	sufficient := communicating && m.Pred.Contains(supplier)
+
+	// Directory verdict to the requester (always sent: carries the
+	// prediction result and completes the transaction handshake).
+	if sufficient {
+		e.pendingSupplier = supplier
+	}
+	d.reply(Msg{
+		Kind: MsgDirResp, Dst: req, Line: m.Line, Requester: req,
+		Excl: sufficient, NeedData: true, MissKind: m.MissKind,
+		Pred: m.Pred, HadLine: communicating, PredSupply: sufficient, Supplier: supplier,
+	})
+
+	switch {
+	case supplier == req:
+		// Writeback race: the requester is still the registered holder
+		// (its eviction is in flight). Its data lives in its own
+		// writeback buffer; confirm with a control-sized data grant.
+		d.reply(Msg{Kind: MsgData, Dst: req, Line: m.Line, Requester: req,
+			Excl: e.state == dirE, MissKind: m.MissKind})
+		if e.state == dirE {
+			// Stays exclusive at req.
+		} else {
+			e.sharers = e.sharers.Add(req)
+			e.fwd = req
+		}
+	case e.state == dirU:
+		// Non-communicating miss: memory supplies an Exclusive copy.
+		e.state = dirE
+		e.owner = req
+		e.sharers = arch.EmptySet
+		e.fwd = arch.None
+		d.memData(m, true, 0)
+	case e.state == dirE:
+		prevOwner := e.owner
+		if !sufficient {
+			d.reply(Msg{Kind: MsgFwdGetS, Dst: prevOwner, Line: m.Line, Requester: req, MissKind: m.MissKind})
+		}
+		e.state = dirS
+		e.owner = arch.None
+		e.sharers = arch.SetOf(prevOwner, req)
+		e.fwd = req
+	default: // dirS
+		if supplier == arch.None {
+			// No forwardable copy on chip: memory supplies; the new
+			// reader becomes the F holder.
+			d.memData(m, false, 0)
+		} else if !sufficient {
+			d.reply(Msg{Kind: MsgFwdGetS, Dst: supplier, Line: m.Line, Requester: req, MissKind: m.MissKind})
+		}
+		e.sharers = e.sharers.Add(req)
+		e.fwd = req
+	}
+}
+
+// processGetM services a write or upgrade miss.
+func (d *DirSlice) processGetM(e *dirLine, m Msg) {
+	req := m.Requester
+	switch e.state {
+	case dirU:
+		e.state = dirE
+		e.owner = req
+		e.sharers = arch.EmptySet
+		e.fwd = arch.None
+		d.reply(Msg{Kind: MsgDirResp, Dst: req, Line: m.Line, Requester: req,
+			Excl: false, NeedData: true, AckCount: 0, MissKind: m.MissKind, HadLine: false})
+		d.memData(m, true, 0)
+
+	case dirE:
+		prevOwner := e.owner
+		if prevOwner == req {
+			// Writeback race: requester is still registered owner.
+			e.state = dirE
+			e.owner = req
+			d.reply(Msg{Kind: MsgDirResp, Dst: req, Line: m.Line, Requester: req,
+				Excl: true, NeedData: false, AckCount: 0, MissKind: m.MissKind, HadLine: true})
+			d.reply(Msg{Kind: MsgData, Dst: req, Line: m.Line, Requester: req,
+				Excl: true, MissKind: m.MissKind})
+			return
+		}
+		sufficient := m.Pred.Contains(prevOwner)
+		if !sufficient {
+			d.reply(Msg{Kind: MsgFwdGetM, Dst: prevOwner, Line: m.Line, Requester: req, MissKind: m.MissKind})
+		}
+		e.owner = req
+		if sufficient {
+			e.pendingSupplier = prevOwner
+		}
+		d.reply(Msg{Kind: MsgDirResp, Dst: req, Line: m.Line, Requester: req,
+			Excl: sufficient, NeedData: true, AckCount: 0, MissKind: m.MissKind,
+			HadLine: true, Pred: arch.SetOf(prevOwner), PredSupply: sufficient, Supplier: prevOwner})
+
+	default: // dirS
+		toInval := e.sharers.Remove(req)
+		hadLine := e.sharers.Contains(req)
+		fwd := e.fwd
+		communicating := !toInval.Empty()
+		sufficient := communicating && m.Pred.Superset(toInval)
+
+		// Data plan: the F holder (if any, and not the requester) responds
+		// with Data rather than a bare InvAck; the requester counts that
+		// Data as the holder's invalidation ack. Otherwise memory supplies
+		// data unless the requester already holds a copy (upgrade).
+		acks := toInval.Count()
+		dataFromFwd := fwd != arch.None && fwd != req
+		if dataFromFwd && !m.Pred.Contains(fwd) {
+			d.reply(Msg{Kind: MsgFwdGetM, Dst: fwd, Line: m.Line, Requester: req, MissKind: m.MissKind})
+		}
+		// Invalidate unpredicted sharers (other than fwd, which got a
+		// FwdGetM above, and the requester itself).
+		pendingInv := toInval.Minus(m.Pred)
+		if dataFromFwd {
+			pendingInv = pendingInv.Remove(fwd)
+		}
+		pendingInv.ForEach(func(n arch.NodeID) {
+			d.reply(Msg{Kind: MsgInv, Dst: n, Line: m.Line, Requester: req, MissKind: m.MissKind})
+		})
+
+		predSupply := dataFromFwd && m.Pred.Contains(fwd)
+		if predSupply {
+			e.pendingSupplier = fwd
+		}
+		d.reply(Msg{Kind: MsgDirResp, Dst: req, Line: m.Line, Requester: req,
+			Excl: sufficient, NeedData: !hadLine, AckCount: acks, MissKind: m.MissKind,
+			HadLine: communicating, Pred: toInval,
+			PredSupply: predSupply, Supplier: fwd})
+
+		if !hadLine && !dataFromFwd {
+			d.memData(m, false, 0)
+		}
+		e.state = dirE
+		e.owner = req
+		e.sharers = arch.EmptySet
+		e.fwd = arch.None
+	}
+}
+
+// handlePut retires an eviction notice. Stale puts (the evictor already
+// lost its registered role to a racing transaction) are acknowledged with
+// no state change.
+func (d *DirSlice) handlePut(e *dirLine, m Msg) {
+	q := m.Src
+	switch {
+	case e.state == dirE && e.owner == q:
+		e.state = dirU
+		e.owner = arch.None
+	case e.state == dirS && e.sharers.Contains(q):
+		e.sharers = e.sharers.Remove(q)
+		if e.fwd == q {
+			e.fwd = arch.None
+		}
+		if e.sharers.Empty() {
+			e.state = dirU
+			e.fwd = arch.None
+		}
+	}
+	d.reply(Msg{Kind: MsgPutAck, Dst: q, Line: m.Line, Requester: q})
+}
+
+// checkInvariants cross-checks this slice against the L2 arrays at
+// quiescence. Violations come in two severities:
+//
+//   - hard: a node holds a valid copy the directory does not account for
+//     (or a wrong-state copy) — a genuine coherence break.
+//   - soft: the directory registers a holder whose copy is gone. This is
+//     the benign residue of the predicted-invalidation race (see the
+//     poison logic in node.go); such lines remain functionally correct
+//     because registered nodes always service directory-issued forwards.
+//
+// See System.CheckCoherence.
+func (d *DirSlice) checkInvariants() (hard, soft []string) {
+	for l, e := range d.lines {
+		if e.busy || len(e.queue) > 0 {
+			hard = append(hard, fmt.Sprintf("line %#x: busy or queued at quiescence", uint64(l)))
+			continue
+		}
+		for _, n := range d.sys.Nodes {
+			ln := n.l2.Peek(l)
+			st := cache.Invalid
+			if ln != nil {
+				st = ln.State
+			}
+			switch e.state {
+			case dirU:
+				if st.Valid() {
+					hard = append(hard, fmt.Sprintf("line %#x: dir U but node %d has %v", uint64(l), n.self, st))
+				}
+			case dirE:
+				if n.self == e.owner {
+					if st == cache.Invalid {
+						soft = append(soft, fmt.Sprintf("line %#x: dir E owner %d has no copy", uint64(l), n.self))
+					} else if st == cache.Shared {
+						hard = append(hard, fmt.Sprintf("line %#x: dir E owner %d has %v", uint64(l), n.self, st))
+					}
+				} else if st.Valid() {
+					hard = append(hard, fmt.Sprintf("line %#x: dir E (owner %d) but node %d has %v", uint64(l), e.owner, n.self, st))
+				}
+			case dirS:
+				if e.sharers.Contains(n.self) {
+					if st == cache.Invalid {
+						soft = append(soft, fmt.Sprintf("line %#x: dir S sharer %d has no copy", uint64(l), n.self))
+					} else if st == cache.Modified || st == cache.Exclusive {
+						hard = append(hard, fmt.Sprintf("line %#x: dir S sharer %d has %v", uint64(l), n.self, st))
+					}
+				} else if st.Valid() {
+					hard = append(hard, fmt.Sprintf("line %#x: dir S %v but node %d has %v", uint64(l), e.sharers, n.self, st))
+				}
+			}
+		}
+	}
+	return hard, soft
+}

@@ -1,0 +1,153 @@
+package protocol
+
+import (
+	"fmt"
+
+	"spcoh/internal/arch"
+	"spcoh/internal/cache"
+	"spcoh/internal/event"
+	"spcoh/internal/noc"
+	"spcoh/internal/predictor"
+)
+
+// Config sizes the coherent memory system (defaults = paper Table 4).
+type Config struct {
+	Nodes int
+
+	L1 cache.Config
+	L2 cache.Config
+
+	L1Latency     event.Time // load-to-use
+	L2TagLatency  event.Time
+	L2DataLatency event.Time
+	DirLatency    event.Time // directory slice access
+	MemLatency    event.Time // main memory round trip from the home tile
+
+	NoC noc.Config
+}
+
+// DefaultConfig returns the paper's Table 4 machine.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:         16,
+		L1:            cache.Config{Bytes: 16 << 10, Ways: 1},
+		L2:            cache.Config{Bytes: 1 << 20, Ways: 8},
+		L1Latency:     2,
+		L2TagLatency:  2,
+		L2DataLatency: 6,
+		DirLatency:    16,
+		MemLatency:    150,
+		NoC:           noc.DefaultConfig(),
+	}
+}
+
+// ConfigFor returns the paper's machine scaled to a different core count.
+// Supported sizes are perfect squares up to 64 (the mesh stays square);
+// cache and latency parameters are unchanged.
+func ConfigFor(nodes int) (Config, error) {
+	side := 0
+	for s := 1; s*s <= nodes; s++ {
+		if s*s == nodes {
+			side = s
+		}
+	}
+	if side == 0 || nodes > arch.MaxNodes {
+		return Config{}, fmt.Errorf("protocol: unsupported node count %d (need a perfect square <= %d)", nodes, arch.MaxNodes)
+	}
+	cfg := DefaultConfig()
+	cfg.Nodes = nodes
+	cfg.NoC.Width, cfg.NoC.Height = side, side
+	return cfg, nil
+}
+
+// L2HitLatency is the total L2 access time (tag + data).
+func (c Config) L2HitLatency() event.Time { return c.L2TagLatency + c.L2DataLatency }
+
+// System is a full coherent CMP: one Node (core-side controller) and one
+// DirSlice (directory home slice) per tile, connected by the mesh.
+type System struct {
+	Cfg   Config
+	Sim   *event.Sim
+	Net   *noc.Network
+	Nodes []*Node
+	Dirs  []*DirSlice
+
+	// Debug, when set, observes every message at delivery time (protocol
+	// debugging aid; nil in normal operation).
+	Debug func(now event.Time, m Msg)
+}
+
+// New assembles a system. preds supplies one predictor per node; nil means
+// the baseline directory protocol everywhere.
+func New(sim *event.Sim, cfg Config, preds []predictor.Predictor) *System {
+	if cfg.Nodes != cfg.NoC.Nodes() {
+		panic("protocol: Config.Nodes must match the mesh size")
+	}
+	s := &System{Cfg: cfg, Sim: sim, Net: noc.New(sim, cfg.NoC)}
+	s.Nodes = make([]*Node, cfg.Nodes)
+	s.Dirs = make([]*DirSlice, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		var p predictor.Predictor = predictor.Null{}
+		if preds != nil && preds[i] != nil {
+			p = preds[i]
+		}
+		s.Nodes[i] = newNode(s, arch.NodeID(i), p)
+		s.Dirs[i] = newDirSlice(s, arch.NodeID(i))
+	}
+	return s
+}
+
+// Home returns the tile whose directory slice owns a line
+// (line-interleaved, as in the paper's distributed directory).
+func (s *System) Home(l arch.LineAddr) arch.NodeID {
+	return arch.NodeID(uint64(l) % uint64(s.Cfg.Nodes))
+}
+
+// send routes a message over the NoC and dispatches it on arrival.
+func (s *System) send(m Msg) {
+	s.Net.Send(m.Src, m.Dst, m.Kind.Bytes(), func() { s.dispatch(m) })
+}
+
+// sendAfter routes a message after a local processing delay at the source.
+func (s *System) sendAfter(d event.Time, m Msg) {
+	s.Sim.After(d, func() { s.send(m) })
+}
+
+func (s *System) dispatch(m Msg) {
+	if s.Debug != nil {
+		s.Debug(s.Sim.Now(), m)
+	}
+	switch m.Kind {
+	case MsgGetS, MsgGetM, MsgPutS, MsgPutE, MsgPutM, MsgUnblock, MsgDirUpd, MsgWriteback, MsgGetRetry:
+		s.Dirs[m.Dst].handle(m)
+	default:
+		s.Nodes[m.Dst].handle(m)
+	}
+}
+
+// Stats aggregates per-node statistics across the system.
+func (s *System) Stats() NodeStats {
+	var total NodeStats
+	for _, n := range s.Nodes {
+		total.merge(&n.stats)
+	}
+	return total
+}
+
+// NetStats returns the interconnect statistics.
+func (s *System) NetStats() noc.Stats { return s.Net.Stats() }
+
+// CheckCoherence validates the directory/cache invariants at quiescence
+// (no in-flight transactions): every directory entry's view matches the
+// corresponding L2 states. It returns hard violations (genuine coherence
+// breaks) and soft ones (stale registrations left by benign predicted-
+// invalidation races; see dir.go). Baseline (non-predicting) runs must
+// produce neither.
+func (s *System) CheckCoherence() (hard, soft []string) {
+	for _, d := range s.Dirs {
+		h, so := d.checkInvariants()
+		hard = append(hard, h...)
+		soft = append(soft, so...)
+	}
+	return hard, soft
+}

@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"spcoh/internal/protocol"
+	"spcoh/internal/workload"
+)
+
+func TestMaxCyclesAborts(t *testing.T) {
+	p, _ := workload.ByName("ocean")
+	prog := p.Build(16, 0.2, 1)
+	opt := DefaultOptions()
+	opt.MaxCycles = 100 // far too few
+	_, err := Run(prog, opt)
+	if err == nil || !strings.Contains(err.Error(), "exceeded") {
+		t.Fatalf("expected MaxCycles abort, got %v", err)
+	}
+}
+
+func TestMaxCyclesGenerous(t *testing.T) {
+	p, _ := workload.ByName("x264")
+	prog := p.Build(16, 0.1, 1)
+	opt := DefaultOptions()
+	opt.MaxCycles = 1 << 40
+	res, err := Run(prog, opt)
+	if err != nil || res.Cycles == 0 {
+		t.Fatalf("generous MaxCycles must not abort: %v", err)
+	}
+}
+
+func TestSmallMachine(t *testing.T) {
+	cfg, err := protocol.ConfigFor(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := workload.ByName("water-ns")
+	prog := p.Build(4, 0.2, 1)
+	opt := DefaultOptions()
+	opt.Machine = cfg
+	res, err := Run(prog, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses() == 0 || res.CommRatio() <= 0 {
+		t.Fatalf("4-node run empty: %+v", res)
+	}
+}
+
+func TestConfigForRejectsNonSquare(t *testing.T) {
+	for _, n := range []int{0, 5, 7, 100} {
+		if _, err := protocol.ConfigFor(n); err == nil {
+			t.Errorf("ConfigFor(%d) should error", n)
+		}
+	}
+	for _, n := range []int{1, 4, 16, 64} {
+		cfg, err := protocol.ConfigFor(n)
+		if err != nil {
+			t.Errorf("ConfigFor(%d): %v", n, err)
+			continue
+		}
+		if cfg.Nodes != n || cfg.NoC.Nodes() != n {
+			t.Errorf("ConfigFor(%d) = %+v", n, cfg)
+		}
+	}
+}
+
+func TestResultAccessors(t *testing.T) {
+	p, _ := workload.ByName("x264")
+	prog := p.Build(16, 0.1, 1)
+	res, err := Run(prog, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses() != res.Nodes.Misses {
+		t.Fatal("Misses accessor wrong for directory runs")
+	}
+	opt := DefaultOptions()
+	opt.Protocol = Broadcast
+	res, err = Run(prog, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses() != res.Snoop.Misses || res.AvgMissLatency() != res.Snoop.AvgMissLatency() {
+		t.Fatal("accessors wrong for broadcast runs")
+	}
+}

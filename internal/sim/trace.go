@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"spcoh/internal/arch"
+	"spcoh/internal/event"
+	"spcoh/internal/predictor"
+)
+
+// Tracer observes L2-miss outcomes and sync-points during a directory run.
+// The characterization pipeline (internal/charac) implements it; the trace
+// package persists it.
+type Tracer interface {
+	// Miss is called once per completed L2 miss with its authoritative
+	// outcome (as the directory's responses reported it).
+	Miss(cycle event.Time, node arch.NodeID, line arch.LineAddr, pc uint64,
+		kind predictor.MissKind, o predictor.Outcome)
+	// Sync is called when a node crosses a synchronization point.
+	Sync(cycle event.Time, node arch.NodeID, kind predictor.SyncKind, staticID uint64)
+}
+
+// traced interposes a Tracer in front of an inner predictor; prediction
+// behaviour is unchanged.
+type traced struct {
+	inner predictor.Predictor
+	tr    Tracer
+	sim   *event.Sim
+}
+
+func wrapTraced(preds []predictor.Predictor, tr Tracer, s *event.Sim) []predictor.Predictor {
+	out := make([]predictor.Predictor, len(preds))
+	for i, p := range preds {
+		if p == nil {
+			p = predictor.Null{}
+		}
+		out[i] = &traced{inner: p, tr: tr, sim: s}
+	}
+	return out
+}
+
+// Name implements predictor.Predictor.
+func (t *traced) Name() string { return t.inner.Name() }
+
+// Predict implements predictor.Predictor.
+func (t *traced) Predict(m predictor.Miss) (arch.SharerSet, predictor.Tag) {
+	return t.inner.Predict(m)
+}
+
+// Train implements predictor.Predictor.
+func (t *traced) Train(m predictor.Miss, o predictor.Outcome) {
+	t.tr.Miss(t.sim.Now(), m.Node, m.Line, m.PC, m.Kind, o)
+	t.inner.Train(m, o)
+}
+
+// OnSync implements predictor.Predictor.
+func (t *traced) OnSync(e predictor.SyncEvent) {
+	t.tr.Sync(t.sim.Now(), e.Node, e.Kind, e.StaticID)
+	t.inner.OnSync(e)
+}
+
+// StorageBits implements predictor.Predictor.
+func (t *traced) StorageBits() int { return t.inner.StorageBits() }
+
+// TrainExternal forwards external-request training to predictors that use
+// it (the ADDR predictor); a no-op otherwise. Keeping this method on the
+// wrapper preserves the inner predictor's externalTrainer capability.
+func (t *traced) TrainExternal(line arch.LineAddr, requester arch.NodeID) {
+	if et, ok := t.inner.(interface {
+		TrainExternal(arch.LineAddr, arch.NodeID)
+	}); ok {
+		et.TrainExternal(line, requester)
+	}
+}

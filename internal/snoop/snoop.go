@@ -1,0 +1,362 @@
+// Package snoop implements the broadcast snooping protocol the paper uses
+// as its latency-lower-bound / bandwidth-upper-bound comparison point
+// (§5.1: "To fairly evaluate a broadcast snoop-based protocol, we assume a
+// totally ordered interconnect with the same configuration as the one with
+// directory").
+//
+// Every L2 miss broadcasts a snoop request to all other tiles; each tile
+// probes its L2 (energy) and answers with data (forwardable copy), a
+// shared indication, or a plain ack; the home tile additionally performs a
+// speculative memory fetch. The total order of the paper's interconnect is
+// modeled by a zero-cost per-line arbitration queue: conflicting requests
+// to the same line serialize, which is what a physically ordered network
+// provides for free. Requests complete when all snoop responses (and data,
+// when needed) have arrived.
+package snoop
+
+import (
+	"spcoh/internal/arch"
+	"spcoh/internal/cache"
+	"spcoh/internal/event"
+	"spcoh/internal/noc"
+	"spcoh/internal/predictor"
+	"spcoh/internal/protocol"
+)
+
+// Stats counts snoop-system activity, mirroring the directory system's
+// counters where they are comparable.
+type Stats struct {
+	Accesses         uint64
+	L1Hits, L2Hits   uint64
+	Misses           uint64
+	Communicating    uint64
+	NonCommunicating uint64
+	MissLatencySum   uint64
+	SnoopLookups     uint64
+	Writebacks       uint64
+}
+
+// AvgMissLatency returns the mean L2 miss latency.
+func (s *Stats) AvgMissLatency() float64 {
+	if s.Misses == 0 {
+		return 0
+	}
+	return float64(s.MissLatencySum) / float64(s.Misses)
+}
+
+// System is a broadcast-snooping CMP over the same mesh and cache
+// configuration as the directory system.
+type System struct {
+	Cfg   protocol.Config
+	Sim   *event.Sim
+	Net   *noc.Network
+	Nodes []*Node
+
+	// arb is the per-line arbitration queue modeling the ordered
+	// interconnect: the head transaction owns the line.
+	arb map[arch.LineAddr][]*txn
+}
+
+// Node is one tile: L1 + L2 + snoop logic.
+type Node struct {
+	sys         *System
+	self        arch.NodeID
+	l1          *cache.Cache
+	l2          *cache.Cache
+	outstanding map[arch.LineAddr]*txn
+	stats       Stats
+}
+
+// txn is one outstanding broadcast transaction.
+type txn struct {
+	node  *Node
+	line  arch.LineAddr
+	kind  predictor.MissKind
+	start event.Time
+
+	responses    int
+	delivered    int
+	expected     int
+	data         bool
+	memData      bool
+	memRequested bool
+	anyShared    bool // some responder held a copy (install F, count communicating)
+	done         func()
+	waiters      []func()
+}
+
+// New assembles a snoop system.
+func New(sim *event.Sim, cfg protocol.Config) *System {
+	s := &System{Cfg: cfg, Sim: sim, Net: noc.New(sim, cfg.NoC), arb: make(map[arch.LineAddr][]*txn)}
+	s.Nodes = make([]*Node, cfg.Nodes)
+	for i := range s.Nodes {
+		s.Nodes[i] = &Node{sys: s, self: arch.NodeID(i), l1: cache.New(cfg.L1), l2: cache.New(cfg.L2),
+			outstanding: make(map[arch.LineAddr]*txn)}
+	}
+	return s
+}
+
+// Home returns the tile whose memory controller owns a line.
+func (s *System) Home(l arch.LineAddr) arch.NodeID {
+	return arch.NodeID(uint64(l) % uint64(s.Cfg.Nodes))
+}
+
+// Stats aggregates node counters.
+func (s *System) Stats() Stats {
+	var t Stats
+	for _, n := range s.Nodes {
+		t.Accesses += n.stats.Accesses
+		t.L1Hits += n.stats.L1Hits
+		t.L2Hits += n.stats.L2Hits
+		t.Misses += n.stats.Misses
+		t.Communicating += n.stats.Communicating
+		t.NonCommunicating += n.stats.NonCommunicating
+		t.MissLatencySum += n.stats.MissLatencySum
+		t.SnoopLookups += n.stats.SnoopLookups
+		t.Writebacks += n.stats.Writebacks
+	}
+	return t
+}
+
+// NetStats returns interconnect statistics.
+func (s *System) NetStats() noc.Stats { return s.Net.Stats() }
+
+// Outstanding reports in-flight transactions (quiescence check).
+func (s *System) Outstanding() int { return len(s.arb) }
+
+// ID returns the node's tile ID.
+func (n *Node) ID() arch.NodeID { return n.self }
+
+// L2 exposes the L2 array.
+func (n *Node) L2() *cache.Cache { return n.l2 }
+
+// Stats returns the node's counters.
+func (n *Node) Stats() Stats { return n.stats }
+
+// Access performs one memory access; done runs at completion.
+func (n *Node) Access(pc uint64, addr arch.Addr, write bool, done func()) {
+	n.stats.Accesses++
+	line := addr.Line()
+	cfg := n.sys.Cfg
+	if !write {
+		if n.l1.Lookup(line) != nil {
+			n.stats.L1Hits++
+			n.sys.Sim.After(cfg.L1Latency, done)
+			return
+		}
+		if n.l2.Lookup(line) != nil {
+			n.stats.L2Hits++
+			n.l1.Insert(line, cache.Shared)
+			n.sys.Sim.After(cfg.L1Latency+cfg.L2HitLatency(), done)
+			return
+		}
+		n.miss(line, predictor.ReadMiss, done)
+		return
+	}
+	if l := n.l2.Lookup(line); l != nil {
+		switch l.State {
+		case cache.Modified, cache.Exclusive:
+			l.State = cache.Modified
+			n.stats.L2Hits++
+			n.l1.Insert(line, cache.Shared)
+			n.sys.Sim.After(cfg.L1Latency+cfg.L2HitLatency(), done)
+		default:
+			n.miss(line, predictor.UpgradeMiss, done)
+		}
+		return
+	}
+	n.miss(line, predictor.WriteMiss, done)
+}
+
+func (n *Node) miss(line arch.LineAddr, kind predictor.MissKind, done func()) {
+	// A miss on this line is already outstanding here: retry afterwards.
+	if prev, ok := n.outstanding[line]; ok {
+		write := kind != predictor.ReadMiss
+		prev.waiters = append(prev.waiters, func() { n.Access(0, line.Base(), write, done) })
+		return
+	}
+	t := &txn{node: n, line: line, kind: kind, start: n.sys.Sim.Now(), done: done}
+	n.outstanding[line] = t
+	detect := n.sys.Cfg.L1Latency + n.sys.Cfg.L2TagLatency
+	n.sys.Sim.After(detect, func() {
+		q := n.sys.arb[line]
+		n.sys.arb[line] = append(q, t)
+		if len(q) == 0 { // we are the head: go
+			n.broadcast(t)
+		}
+	})
+}
+
+// broadcast sends the snoop request to every other tile along the fabric's
+// multicast tree.
+func (n *Node) broadcast(t *txn) {
+	n.stats.Misses++
+	s := n.sys
+	t.expected = s.Cfg.Nodes - 1
+	dsts := arch.FullSet(s.Cfg.Nodes).Remove(n.self)
+	s.Net.Broadcast(n.self, dsts, protocol.ControlBytes, func(d arch.NodeID) {
+		s.Nodes[d].snoop(t)
+	})
+	// The home's memory controller sees the ordered broadcast too and
+	// fetches speculatively; the fetch is cancelled if a cache supplies
+	// first (the HITM signal of bus-based snooping). When the requester is
+	// its own home the fetch starts locally.
+	if t.kind != predictor.UpgradeMiss && s.Home(t.line) == n.self {
+		s.Sim.After(s.Cfg.MemLatency, func() {
+			if !t.data && !t.memData && t.done != nil {
+				t.memData = true
+				n.complete(t)
+			}
+		})
+	}
+}
+
+// speculativeFetch is the home-side memory fetch launched on broadcast
+// delivery; data is sent only if no cache has supplied by completion.
+func (n *Node) speculativeFetch(t *txn) {
+	if t.memRequested {
+		return
+	}
+	t.memRequested = true
+	s := n.sys
+	s.Sim.After(s.Cfg.MemLatency, func() {
+		if t.data || t.memData || t.done == nil {
+			return // cancelled: a cache answered first
+		}
+		s.Net.Send(n.self, t.node.self, protocol.DataBytes, func() {
+			t.memData = true
+			t.node.complete(t)
+		})
+	})
+}
+
+// snoop probes this tile's L2 on behalf of requester t and responds.
+func (n *Node) snoop(t *txn) {
+	n.stats.SnoopLookups++
+	t.delivered++
+	s := n.sys
+	if t.kind != predictor.UpgradeMiss && s.Home(t.line) == n.self {
+		n.speculativeFetch(t)
+	}
+	if t.kind == predictor.UpgradeMiss {
+		t.node.complete(t) // ordered fabric: delivery is the invalidation
+	}
+	l := n.l2.Peek(t.line)
+	st := cache.Invalid
+	if l != nil {
+		st = l.State
+	}
+	respond := func(lat event.Time, bytes int, had, data bool) {
+		s.Sim.After(lat, func() {
+			s.Net.Send(n.self, t.node.self, bytes, func() {
+				t.responses++
+				if had {
+					t.anyShared = true
+				}
+				if data {
+					t.data = true
+				}
+				t.node.complete(t)
+			})
+		})
+	}
+	if t.kind == predictor.ReadMiss {
+		if st.CanForward() {
+			if st == cache.Modified {
+				// Memory update on M->S (data to home).
+				s.Net.Send(n.self, s.Home(t.line), protocol.DataBytes, func() {})
+			}
+			n.l2.SetState(t.line, cache.Shared)
+			respond(s.Cfg.L2HitLatency(), protocol.DataBytes, true, true)
+		} else {
+			respond(s.Cfg.L2TagLatency, protocol.ControlBytes, st.Valid(), false)
+		}
+		return
+	}
+	// Write or upgrade: invalidate; forwardable copies supply data.
+	if st.CanForward() {
+		n.l1.Invalidate(t.line)
+		n.l2.Invalidate(t.line)
+		respond(s.Cfg.L2HitLatency(), protocol.DataBytes, true, true)
+		return
+	}
+	had := st.Valid()
+	if had {
+		n.l1.Invalidate(t.line)
+		n.l2.Invalidate(t.line)
+	}
+	respond(s.Cfg.L2TagLatency, protocol.ControlBytes, had, false)
+}
+
+// complete finishes the transaction when the ordered fabric semantics are
+// satisfied: reads and writes finish when data arrives (from a cache, or
+// from the home's speculative fetch when no cache holds the line);
+// upgrades finish when the broadcast has been delivered everywhere — on a
+// totally ordered interconnect delivery *is* the invalidation, so no ack
+// collection gates completion (responses still flow for bandwidth/energy
+// accounting and sharing-state reconstruction).
+func (n *Node) complete(t *txn) {
+	if t.kind == predictor.UpgradeMiss {
+		if t.delivered < t.expected {
+			return
+		}
+	} else if !t.data && !t.memData {
+		return // speculative memory data is on its way
+	}
+	if t.done == nil {
+		return // already completed (late memory data)
+	}
+	done := t.done
+	t.done = nil
+	delete(n.outstanding, t.line)
+
+	lat := uint64(n.sys.Sim.Now() - t.start)
+	n.stats.MissLatencySum += lat
+	if t.anyShared {
+		n.stats.Communicating++
+	} else {
+		n.stats.NonCommunicating++
+	}
+
+	// Install.
+	switch t.kind {
+	case predictor.ReadMiss:
+		st := cache.Exclusive
+		if t.anyShared {
+			st = cache.Forward
+		}
+		n.fill(t.line, st)
+	default:
+		n.fill(t.line, cache.Modified)
+	}
+
+	// Release the line arbitration and start the next queued request.
+	q := n.sys.arb[t.line]
+	if len(q) > 0 && q[0] == t {
+		q = q[1:]
+	}
+	if len(q) == 0 {
+		delete(n.sys.arb, t.line)
+	} else {
+		n.sys.arb[t.line] = q
+		next := q[0]
+		next.node.broadcast(next)
+	}
+
+	done()
+	for _, w := range t.waiters {
+		w()
+	}
+}
+
+func (n *Node) fill(l arch.LineAddr, st cache.State) {
+	v, evicted := n.l2.Insert(l, st)
+	n.l1.Insert(l, cache.Shared)
+	if evicted {
+		n.l1.Invalidate(v.Addr)
+		if v.State == cache.Modified {
+			n.stats.Writebacks++
+			n.sys.Net.Send(n.self, n.sys.Home(v.Addr), protocol.DataBytes, func() {})
+		}
+	}
+}

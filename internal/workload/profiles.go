@@ -1,0 +1,736 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Profile describes one benchmark stand-in: its builder plus the paper's
+// Table 1 reference statistics for side-by-side reporting.
+type Profile struct {
+	Name  string
+	Suite string // "splash2" or "parsec"
+	Build func(threads int, scale float64, seed int64) *Program
+
+	// Paper Table 1 reference values (per-core averages).
+	PaperStaticCS     int
+	PaperStaticEpochs int
+	PaperDynEpochs    int
+	PaperInput        string
+}
+
+var registry = map[string]Profile{}
+
+func register(p Profile) { registry[p.Name] = p }
+
+// Names returns all benchmark names in the paper's presentation order.
+func Names() []string {
+	return []string{
+		"fmm", "lu", "ocean", "radiosity", "water-ns", "cholesky", "fft",
+		"radix", "water-sp", "bodytrack", "fluidanimate", "streamcluster",
+		"vips", "facesim", "ferret", "dedup", "x264",
+	}
+}
+
+// ByName returns a registered profile.
+func ByName(name string) (Profile, error) {
+	p, ok := registry[name]
+	if !ok {
+		return Profile{}, fmt.Errorf("workload: unknown benchmark %q", name)
+	}
+	return p, nil
+}
+
+// All returns every profile in presentation order.
+func All() []Profile {
+	out := make([]Profile, 0, len(registry))
+	for _, n := range Names() {
+		out = append(out, registry[n])
+	}
+	return out
+}
+
+// sortedNames is a test aid: registry keys sorted.
+func sortedNames() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func scaleIters(iters int, scale float64) int {
+	n := int(float64(iters)*scale + 0.5)
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+func east(i, n int) int { return (i + 1) % n }
+func west(i, n int) int { return (i - 1 + n) % n }
+func parent(i int) int  { return (i - 1) / 2 }
+func child(i, k, n int) int {
+	c := 2*i + 1 + k
+	if c >= n {
+		c = c % n
+	}
+	return c
+}
+
+// The profiles below follow a common discipline: production (writes) and
+// consumption (reads) of the same shared lines happen in *different*
+// barrier epochs, as in double-buffered parallel codes. This makes the
+// communication of each static epoch deterministic: a produce epoch's hot
+// set is the consumers it invalidates, a consume epoch's hot set is its
+// single producer. Placing both in one epoch would race thread skew and
+// turn half the reads into stale hits.
+
+// phase maps a barrier index to produce (true) / consume (false).
+func produceOn(j int) bool { return j%2 == 0 }
+
+// produceAll writes one partition for every consumer (hot-spot producers:
+// panel owners, coordinators).
+func produceAll(t *T, region, partLines, n int) {
+	for c := 0; c < n; c++ {
+		t.Produce(region, c, partLines, partLines)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// SPLASH-2 stand-ins
+// ---------------------------------------------------------------------------
+
+func init() {
+	// fmm: adaptive N-body; tree-structured upward/downward passes (the
+	// paper's motivating example, §2) plus list locks. Communicating
+	// fraction moderate (Fig. 1: ~45%).
+	register(Profile{
+		Name: "fmm", Suite: "splash2",
+		PaperStaticCS: 30, PaperStaticEpochs: 20, PaperDynEpochs: 2789, PaperInput: "16K (particles)",
+		Build: func(n int, scale float64, seed int64) *Program {
+			b := NewBuilder("fmm", n, seed)
+			bars := b.Barriers(20)
+			locks := b.Locks(30)
+			iters := scaleIters(28, scale)
+			cur := make([]int, n)
+			for it := 0; it < iters; it++ {
+				for j, id := range bars {
+					b.Bar(id)
+					b.ForAll(func(t *T) {
+						i := t.Tid()
+						switch {
+						case j < 8: // upward pass (paper example interval B)
+							if produceOn(j) {
+								t.Produce(0, parent(i), 4, 4) // push multipoles up
+							} else {
+								t.Consume(0, child(i, 0, n), 4, 5)
+								t.Consume(0, child(i, 1, n), 4, 5)
+							}
+						case j < 16: // downward pass (interval A: parent + sibling)
+							if produceOn(j) {
+								t.Produce(1, child(i, 0, n), 4, 4)
+								t.Produce(1, child(i, 1, n), 4, 4)
+							} else {
+								t.Consume(1, parent(i), 4, 5)
+								t.Consume(1, east(parent(i), n), 4, 3)
+							}
+						default: // force evaluation with list locks
+							if produceOn(j) {
+								t.Produce(2, west(i, n), 4, 4)
+							} else {
+								t.Consume(2, east(i, n), 4, 6)
+							}
+							t.CS(locks[(i+j*7+1)%len(locks)], 3, 4, 8)
+						}
+						t.Private(6, 1<<20, &cur[i])
+						t.Compute(300)
+					})
+				}
+			}
+			return b.Finish(20, 30)
+		},
+	})
+
+	// lu: blocked dense LU; the panel owner produces for everyone, so the
+	// consume epoch's hot set is {owner}. Small communicating fraction
+	// (Fig. 1: ~25%) — private trailing updates dominate.
+	register(Profile{
+		Name: "lu", Suite: "splash2",
+		PaperStaticCS: 7, PaperStaticEpochs: 5, PaperDynEpochs: 185, PaperInput: "521 (matrix)",
+		Build: func(n int, scale float64, seed int64) *Program {
+			b := NewBuilder("lu", n, seed)
+			bars := b.Barriers(5)
+			locks := b.Locks(7)
+			iters := scaleIters(37, scale)
+			cur := make([]int, n)
+			for it := 0; it < iters; it++ {
+				owner := (it / 4) % n // a panel spans several iterations
+				for j, id := range bars {
+					b.Bar(id)
+					b.ForAll(func(t *T) {
+						i := t.Tid()
+						switch {
+						case j == 0 && i == owner:
+							produceAll(t, 0, 4, n) // factor + publish panel
+						case j == 1 && i != owner:
+							t.Consume(0, owner, 4, 6) // consume pivot rows
+						case j == 4:
+							t.CS(locks[(i+it)%len(locks)], 1, 2, 4) // pivot bookkeeping
+						}
+						t.Private(6, 1<<20, &cur[i])
+						t.Compute(800)
+					})
+				}
+			}
+			return b.Finish(5, 7)
+		},
+	})
+
+	// ocean: stencil sweeps whose exchange distance alternates between
+	// iterations (red-black) — the stride-2 repetitive hot-set pattern of
+	// Figure 6(c). Communicating fraction ~60%.
+	register(Profile{
+		Name: "ocean", Suite: "splash2",
+		PaperStaticCS: 28, PaperStaticEpochs: 20, PaperDynEpochs: 2685, PaperInput: "258 (grid)",
+		Build: func(n int, scale float64, seed int64) *Program {
+			b := NewBuilder("ocean", n, seed)
+			bars := b.Barriers(20)
+			locks := b.Locks(28)
+			iters := scaleIters(26, scale)
+			cur := make([]int, n)
+			for it := 0; it < iters; it++ {
+				d := 1 + it%2 // alternating exchange distance
+				for j, id := range bars {
+					b.Bar(id)
+					b.ForAll(func(t *T) {
+						i := t.Tid()
+						if produceOn(j) {
+							t.Produce(0, (i+d)%n, 8, 8)
+						} else {
+							t.Consume(0, (i+n-d)%n, 8, 12)
+						}
+						if j == 19 {
+							t.CS(locks[(i+it*3)%len(locks)], 1, 2, 4) // error reduction
+						}
+						t.Private(7, 1<<20, &cur[i])
+						t.Compute(250)
+					})
+				}
+			}
+			return b.Finish(20, 28)
+		},
+	})
+
+	// radiosity: task stealing from random victims: the random hot-set
+	// pattern of Figure 6(d), plus heavy locking. Communicating ~70%.
+	register(Profile{
+		Name: "radiosity", Suite: "splash2",
+		PaperStaticCS: 34, PaperStaticEpochs: 12, PaperDynEpochs: 17637, PaperInput: "room",
+		Build: func(n int, scale float64, seed int64) *Program {
+			b := NewBuilder("radiosity", n, seed)
+			bars := b.Barriers(12)
+			locks := b.Locks(34)
+			iters := scaleIters(95, scale)
+			cur := make([]int, n)
+			for it := 0; it < iters; it++ {
+				for j, id := range bars {
+					b.Bar(id)
+					b.ForAll(func(t *T) {
+						i := t.Tid()
+						if produceOn(j) {
+							produceAll(t, 0, 1, n) // publish stealable tasks
+						} else {
+							t.Consume(0, b.Rng().Intn(n), 1, 2) // steal from a random victim
+							t.Consume(0, b.Rng().Intn(n), 1, 2)
+						}
+						t.CS(locks[(i*3+j)%len(locks)], 2, 4, 6)
+						t.Private(5, 1<<20, &cur[i])
+						t.Compute(200)
+					})
+				}
+			}
+			return b.Finish(12, 34)
+		},
+	})
+
+	// water-ns: molecular dynamics with per-molecule fine-grain locking
+	// and stable neighbor force exchange. Communicating ~70%.
+	register(Profile{
+		Name: "water-ns", Suite: "splash2",
+		PaperStaticCS: 20, PaperStaticEpochs: 8, PaperDynEpochs: 1224, PaperInput: "512 (mol.)",
+		Build: func(n int, scale float64, seed int64) *Program {
+			b := NewBuilder("water-ns", n, seed)
+			bars := b.Barriers(8)
+			locks := b.Locks(20)
+			iters := scaleIters(60, scale)
+			cur := make([]int, n)
+			for it := 0; it < iters; it++ {
+				for j, id := range bars {
+					b.Bar(id)
+					b.ForAll(func(t *T) {
+						i := t.Tid()
+						if produceOn(j) {
+							t.Produce(0, west(i, n), 6, 6)
+						} else {
+							t.Consume(0, east(i, n), 6, 9)
+						}
+						t.CS(locks[(i+2*j)%len(locks)], 2, 4, 8)
+						t.CS(locks[(i+2*j+1)%len(locks)], 2, 4, 8)
+						t.Private(7, 1<<20, &cur[i])
+						t.Compute(300)
+					})
+				}
+			}
+			return b.Finish(8, 20)
+		},
+	})
+
+	// cholesky: supernodal factorization over a task queue: the producer
+	// relationship drifts slowly (semi-random), with queue locks.
+	// Communicating ~50%.
+	register(Profile{
+		Name: "cholesky", Suite: "splash2",
+		PaperStaticCS: 28, PaperStaticEpochs: 27, PaperDynEpochs: 1998, PaperInput: "tk15.O",
+		Build: func(n int, scale float64, seed int64) *Program {
+			b := NewBuilder("cholesky", n, seed)
+			bars := b.Barriers(27)
+			locks := b.Locks(28)
+			iters := scaleIters(8, scale)
+			cur := make([]int, n)
+			for it := 0; it < iters; it++ {
+				for j, id := range bars {
+					b.Bar(id)
+					b.ForAll(func(t *T) {
+						i := t.Tid()
+						k := 1 + (j/2+it)%2 // drifting supernode distance
+						if produceOn(j) {
+							t.Produce(0, (i+k)%n, 5, 5)
+						} else {
+							t.Consume(0, (i+n-k)%n, 5, 7)
+						}
+						t.CS(locks[(i+j)%len(locks)], 2, 4, 6)
+						t.Private(12, 1<<20, &cur[i])
+						t.Compute(400)
+					})
+				}
+			}
+			return b.Finish(27, 28)
+		},
+	})
+
+	// fft: six-step FFT with all-to-all transposes; epochs execute a
+	// handful of times, so only within-interval (d=0) prediction applies
+	// for most misses. Communicating ~45%.
+	register(Profile{
+		Name: "fft", Suite: "splash2",
+		PaperStaticCS: 8, PaperStaticEpochs: 8, PaperDynEpochs: 22, PaperInput: "256K (points)",
+		Build: func(n int, scale float64, seed int64) *Program {
+			b := NewBuilder("fft", n, seed)
+			bars := b.Barriers(8)
+			locks := b.Locks(8)
+			iters := scaleIters(3, scale)
+			cur := make([]int, n)
+			for it := 0; it < iters; it++ {
+				for j, id := range bars {
+					b.Bar(id)
+					b.ForAll(func(t *T) {
+						i := t.Tid()
+						switch j % 4 {
+						case 1: // publish stripes
+							produceAll(t, 0, 2, n)
+						case 2: // blocked transpose: nearby stripes carry
+							// most of the volume, so the hot set is the
+							// close neighborhood rather than all 15 peers
+							for k := 1; k <= 8; k++ {
+								cnt := 1
+								if k <= 4 {
+									cnt = 3
+								}
+								t.Consume(0, (i+k)%n, 2, cnt)
+							}
+						default: // local butterfly stage
+							t.Private(18, 1<<20, &cur[i])
+							if j == 7 {
+								t.CS(locks[(i+it)%len(locks)], 1, 2, 4)
+							}
+						}
+						t.Compute(500)
+					})
+				}
+			}
+			return b.Finish(8, 8)
+		},
+	})
+
+	// radix: radix sort; scattered permutation writes and a tiny
+	// communicating fraction (Fig. 1: ~20%).
+	register(Profile{
+		Name: "radix", Suite: "splash2",
+		PaperStaticCS: 8, PaperStaticEpochs: 4, PaperDynEpochs: 35, PaperInput: "4M (keys)",
+		Build: func(n int, scale float64, seed int64) *Program {
+			b := NewBuilder("radix", n, seed)
+			bars := b.Barriers(4)
+			locks := b.Locks(8)
+			iters := scaleIters(9, scale)
+			cur := make([]int, n)
+			for it := 0; it < iters; it++ {
+				for j, id := range bars {
+					b.Bar(id)
+					b.ForAll(func(t *T) {
+						i := t.Tid()
+						switch j {
+						case 1: // publish histogram/permuted keys
+							produceAll(t, 0, 2, n)
+						case 2: // read ranks from the digit buckets this
+							// thread's keys map to (fixed per pass)
+							t.Consume(0, (i+1)%n, 2, 3)
+							t.Consume(0, (i+5)%n, 2, 3)
+						case 3: // global offset accumulation
+							t.CS(locks[(i+it)%len(locks)], 1, 2, 4)
+						}
+						t.Private(16, 1<<20, &cur[i])
+						t.Compute(600)
+					})
+				}
+			}
+			return b.Finish(4, 8)
+		},
+	})
+
+	// water-sp: spatial water; one static epoch dominates. Produce and
+	// consume alternate across dynamic instances of the *same* static
+	// epoch, so its hot set alternates {west}/{east} — exercising the
+	// stride-2 policy. High communicating fraction (~75%).
+	register(Profile{
+		Name: "water-sp", Suite: "splash2",
+		PaperStaticCS: 17, PaperStaticEpochs: 1, PaperDynEpochs: 83, PaperInput: "512 (mol.)",
+		Build: func(n int, scale float64, seed int64) *Program {
+			b := NewBuilder("water-sp", n, seed)
+			bars := b.Barriers(1)
+			locks := b.Locks(17)
+			iters := scaleIters(42, scale)
+			cur := make([]int, n)
+			for it := 0; it < iters; it++ {
+				b.Bar(bars[0])
+				b.ForAll(func(t *T) {
+					i := t.Tid()
+					if it%2 == 0 {
+						t.Produce(0, west(i, n), 8, 8)
+					} else {
+						t.Consume(0, east(i, n), 8, 12)
+					}
+					t.CS(locks[(i+it)%len(locks)], 1, 4, 8)
+					t.Private(6, 1<<20, &cur[i])
+					t.Compute(400)
+				})
+			}
+			return b.Finish(1, 17)
+		},
+	})
+}
+
+// ---------------------------------------------------------------------------
+// PARSEC stand-ins
+// ---------------------------------------------------------------------------
+
+func init() {
+	// bodytrack: staged particle-filter tracker (the paper's Figure 2
+	// subject): per stage a distinct, stable hot target. Communicating
+	// ~65%.
+	register(Profile{
+		Name: "bodytrack", Suite: "parsec",
+		PaperStaticCS: 16, PaperStaticEpochs: 20, PaperDynEpochs: 456, PaperInput: "simsmall",
+		Build: func(n int, scale float64, seed int64) *Program {
+			b := NewBuilder("bodytrack", n, seed)
+			bars := b.Barriers(20)
+			locks := b.Locks(16)
+			iters := scaleIters(23, scale)
+			cur := make([]int, n)
+			for it := 0; it < iters; it++ {
+				for j, id := range bars {
+					b.Bar(id)
+					b.ForAll(func(t *T) {
+						i := t.Tid()
+						switch {
+						case j < 6: // image processing: per-stage frame producer
+							prod := (j/2 + 5) % n
+							if produceOn(j) {
+								if i == prod {
+									produceAll(t, 0, 2, n)
+								}
+							} else if i != prod {
+								t.Consume(0, prod, 2, 3)
+							}
+						case j < 12: // particle weighting: neighbor exchange
+							if produceOn(j) {
+								t.Produce(1, east(i, n), 4, 4)
+							} else {
+								t.Consume(1, west(i, n), 4, 6)
+							}
+						case j < 16: // resampling via the work-pool locks
+							t.CS(locks[(i+j)%len(locks)], 2, 4, 8)
+							if !produceOn(j) {
+								t.Consume(1, west(i, n), 4, 3)
+							}
+						default: // model update: root publishes the estimate
+							if produceOn(j) {
+								if i == 0 {
+									produceAll(t, 3, 2, n)
+								}
+							} else if i != 0 {
+								t.Consume(3, 0, 2, 3)
+							}
+						}
+						t.Private(2, 1<<20, &cur[i])
+						t.Compute(250)
+					})
+				}
+			}
+			return b.Finish(20, 16)
+		},
+	})
+
+	// fluidanimate: grid-partitioned fluid with per-cell fine-grain locks
+	// and stable face-neighbor exchange. Communicating ~55%.
+	register(Profile{
+		Name: "fluidanimate", Suite: "parsec",
+		PaperStaticCS: 11, PaperStaticEpochs: 20, PaperDynEpochs: 8991, PaperInput: "simsmall",
+		Build: func(n int, scale float64, seed int64) *Program {
+			b := NewBuilder("fluidanimate", n, seed)
+			bars := b.Barriers(20)
+			locks := b.Locks(11)
+			iters := scaleIters(55, scale)
+			cur := make([]int, n)
+			for it := 0; it < iters; it++ {
+				for j, id := range bars {
+					b.Bar(id)
+					b.ForAll(func(t *T) {
+						i := t.Tid()
+						if produceOn(j) {
+							t.Produce(0, west(i, n), 4, 4)
+						} else {
+							t.Consume(0, east(i, n), 4, 6)
+						}
+						t.CS(locks[(i+j)%len(locks)], 1, 4, 6)
+						t.CS(locks[(i+j+5)%len(locks)], 1, 4, 6)
+						t.Private(7, 1<<20, &cur[i])
+						t.Compute(200)
+					})
+				}
+			}
+			return b.Finish(20, 11)
+		},
+	})
+
+	// streamcluster: repeated distance sweeps against a center set owned
+	// by a slowly-rotating coordinator: extremely repetitive with a very
+	// high communicating fraction (Fig. 1: ~90%).
+	register(Profile{
+		Name: "streamcluster", Suite: "parsec",
+		PaperStaticCS: 1, PaperStaticEpochs: 24, PaperDynEpochs: 11454, PaperInput: "simsmall",
+		Build: func(n int, scale float64, seed int64) *Program {
+			b := NewBuilder("streamcluster", n, seed)
+			bars := b.Barriers(24)
+			locks := b.Locks(1)
+			iters := scaleIters(60, scale)
+			cur := make([]int, n)
+			for it := 0; it < iters; it++ {
+				coord := (it / 4) % n // coordinator rotates slowly
+				for j, id := range bars {
+					b.Bar(id)
+					b.ForAll(func(t *T) {
+						i := t.Tid()
+						if produceOn(j) {
+							if i == coord {
+								produceAll(t, 0, 2, n) // refresh the center set
+							} else {
+								t.Produce(1, east(i, n), 4, 4)
+							}
+						} else {
+							if i != coord {
+								t.Consume(0, coord, 2, 3)
+							}
+							t.Consume(1, west(i, n), 4, 6)
+						}
+						if j == 11 {
+							t.CS(locks[0], 2, 4, 6) // global cost accumulation
+						}
+						t.Private(1, 1<<20, &cur[i])
+						t.Compute(150)
+					})
+				}
+			}
+			return b.Finish(24, 1)
+		},
+	})
+
+	// vips: image pipeline; each stage consumes the previous stage's
+	// output stripes. Communicating ~65%.
+	register(Profile{
+		Name: "vips", Suite: "parsec",
+		PaperStaticCS: 14, PaperStaticEpochs: 8, PaperDynEpochs: 419, PaperInput: "simsmall",
+		Build: func(n int, scale float64, seed int64) *Program {
+			b := NewBuilder("vips", n, seed)
+			bars := b.Barriers(8)
+			locks := b.Locks(14)
+			iters := scaleIters(26, scale)
+			cur := make([]int, n)
+			for it := 0; it < iters; it++ {
+				for j, id := range bars {
+					b.Bar(id)
+					b.ForAll(func(t *T) {
+						i := t.Tid()
+						if produceOn(j) {
+							t.Produce(0, east(i, n), 6, 6)
+						} else {
+							t.Consume(0, west(i, n), 6, 9)
+						}
+						if j%4 == 3 {
+							t.CS(locks[(i+j)%len(locks)], 1, 4, 6)
+						}
+						t.Private(5, 1<<20, &cur[i])
+						t.Compute(300)
+					})
+				}
+			}
+			return b.Finish(8, 14)
+		},
+	})
+
+	// facesim: partitioned mesh solve: stable partition-neighbor exchange,
+	// few sync sites replayed many times. Communicating ~60%.
+	register(Profile{
+		Name: "facesim", Suite: "parsec",
+		PaperStaticCS: 2, PaperStaticEpochs: 3, PaperDynEpochs: 3826, PaperInput: "simsmall",
+		Build: func(n int, scale float64, seed int64) *Program {
+			b := NewBuilder("facesim", n, seed)
+			bars := b.Barriers(3)
+			locks := b.Locks(2)
+			iters := scaleIters(420, scale)
+			cur := make([]int, n)
+			for it := 0; it < iters; it++ {
+				for j, id := range bars {
+					b.Bar(id)
+					b.ForAll(func(t *T) {
+						i := t.Tid()
+						switch j {
+						case 0:
+							t.Produce(0, east(i, n), 5, 5)
+						case 1:
+							t.Consume(0, west(i, n), 5, 7)
+						default:
+							if i%4 == 0 {
+								t.CS(locks[(i/4)%2], 1, 4, 6)
+							}
+						}
+						t.Private(5, 1<<20, &cur[i])
+						t.Compute(220)
+					})
+				}
+			}
+			return b.Finish(3, 2)
+		},
+	})
+
+	// ferret: similarity-search pipeline; few epochs, stage queues behind
+	// locks. Communicating ~70%.
+	register(Profile{
+		Name: "ferret", Suite: "parsec",
+		PaperStaticCS: 4, PaperStaticEpochs: 6, PaperDynEpochs: 25, PaperInput: "simsmall",
+		Build: func(n int, scale float64, seed int64) *Program {
+			b := NewBuilder("ferret", n, seed)
+			bars := b.Barriers(6)
+			locks := b.Locks(4)
+			iters := scaleIters(4, scale)
+			cur := make([]int, n)
+			for it := 0; it < iters; it++ {
+				for j, id := range bars {
+					b.Bar(id)
+					b.ForAll(func(t *T) {
+						i := t.Tid()
+						stage := j % 3
+						if produceOn(j) {
+							t.Produce(stage, east(i, n), 6, 6)
+						} else {
+							t.Consume(stage, west(i, n), 6, 9)
+						}
+						t.CS(locks[j%len(locks)], 5, 4, 6)
+						t.Private(4, 1<<20, &cur[i])
+						t.Compute(350)
+					})
+				}
+			}
+			return b.Finish(6, 4)
+		},
+	})
+
+	// dedup: dedup pipeline with a global hash table: bucket access is
+	// essentially random, so communication is migratory and widely
+	// shared. Communicating ~80%.
+	register(Profile{
+		Name: "dedup", Suite: "parsec",
+		PaperStaticCS: 3, PaperStaticEpochs: 4, PaperDynEpochs: 508, PaperInput: "simsmall",
+		Build: func(n int, scale float64, seed int64) *Program {
+			b := NewBuilder("dedup", n, seed)
+			bars := b.Barriers(4)
+			locks := b.Locks(3)
+			iters := scaleIters(64, scale)
+			cur := make([]int, n)
+			for it := 0; it < iters; it++ {
+				for j, id := range bars {
+					b.Bar(id)
+					b.ForAll(func(t *T) {
+						i := t.Tid()
+						if produceOn(j) {
+							t.Produce(0, east(i, n), 4, 4) // pipeline stripe
+							produceAll(t, 1, 1, n)         // hash-bucket updates
+						} else {
+							t.Consume(0, west(i, n), 4, 6)
+							t.Consume(1, b.Rng().Intn(n), 1, 2) // random bucket probes
+						}
+						t.CS(locks[j%len(locks)], 2, 4, 6)
+						t.Private(3, 1<<20, &cur[i])
+						t.Compute(250)
+					})
+				}
+			}
+			return b.Finish(4, 3)
+		},
+	})
+
+	// x264: wavefront encoder: each row reads its upper neighbor's
+	// reconstructed macroblocks; highly regular, highest communicating
+	// fraction (Fig. 1: ~85%).
+	register(Profile{
+		Name: "x264", Suite: "parsec",
+		PaperStaticCS: 2, PaperStaticEpochs: 3, PaperDynEpochs: 56, PaperInput: "simsmall",
+		Build: func(n int, scale float64, seed int64) *Program {
+			b := NewBuilder("x264", n, seed)
+			bars := b.Barriers(3)
+			locks := b.Locks(2)
+			iters := scaleIters(10, scale)
+			cur := make([]int, n)
+			for it := 0; it < iters; it++ {
+				for j, id := range bars {
+					b.Bar(id)
+					b.ForAll(func(t *T) {
+						i := t.Tid()
+						switch j {
+						case 0: // reconstruct own row
+							t.Produce(0, east(i, n), 8, 8)
+						case 1: // reference the upper row
+							t.Consume(0, west(i, n), 8, 12)
+						default:
+							t.CS(locks[i%2], 1, 4, 4)
+						}
+						t.Private(2, 1<<20, &cur[i])
+						t.Compute(300)
+					})
+				}
+			}
+			return b.Finish(3, 2)
+		},
+	})
+}

@@ -1,0 +1,108 @@
+package spcoh
+
+import (
+	"fmt"
+
+	"spcoh/internal/arch"
+	"spcoh/internal/workload"
+)
+
+// Program is a multithreaded workload runnable with RunProgram. Build one
+// with NewProgram, or use a named benchmark via RunBenchmark.
+type Program struct {
+	p *workload.Program
+}
+
+// Threads returns the program's thread count.
+func (p *Program) Threads() int { return p.p.NumThreads() }
+
+// Ops returns the total operation count across threads.
+func (p *Program) Ops() int { return p.p.TotalOps() }
+
+// ProgramBuilder assembles a custom multithreaded program against the
+// public API: barrier/lock-structured phases over shared regions, with the
+// same static-identity discipline the built-in benchmarks use (sync-point
+// IDs and instruction PCs are fixed per call site, so dynamic instances of
+// an epoch are recognizable to the predictors).
+type ProgramBuilder struct {
+	b        *workload.Builder
+	threads  int
+	barriers []uint64
+	locks    []int
+	finished bool
+}
+
+// NewProgram starts a program with the given thread count (must match the
+// simulated machine: 16 for the default mesh).
+func NewProgram(name string, threads int) *ProgramBuilder {
+	return &ProgramBuilder{b: workload.NewBuilder(name, threads, 1), threads: threads}
+}
+
+// DeclareBarriers allocates n static barrier sites, returned as indices
+// 0..n-1 for use with Barrier. Call once, before building iterations.
+func (pb *ProgramBuilder) DeclareBarriers(n int) {
+	pb.barriers = pb.b.Barriers(n)
+}
+
+// DeclareLocks allocates n static locks for use with CriticalSection.
+func (pb *ProgramBuilder) DeclareLocks(n int) {
+	pb.locks = pb.b.Locks(n)
+}
+
+// Barrier makes every thread cross static barrier site i.
+func (pb *ProgramBuilder) Barrier(i int) {
+	pb.b.Bar(pb.barriers[i])
+}
+
+// Thread exposes per-thread work inside the current epoch.
+type Thread struct {
+	t  *workload.T
+	pb *ProgramBuilder
+}
+
+// ID returns the thread index.
+func (t *Thread) ID() int { return t.t.Tid() }
+
+// Compute burns n cycles of processor work.
+func (t *Thread) Compute(n int) { t.t.Compute(n) }
+
+// Produce writes this thread's output partition destined for consumer in
+// the given shared region (partitioned producer-consumer exchange; see the
+// workload package).
+func (t *Thread) Produce(region, consumer, lines int) {
+	t.t.Produce(region, consumer, lines, lines)
+}
+
+// Consume reads this thread's partition of producer's slice.
+func (t *Thread) Consume(region, producer, lines int) {
+	t.t.Consume(region, producer, lines, lines+lines/2)
+}
+
+// PrivateWork issues n private-heap accesses over a streaming working set
+// (cache-missing, non-communicating).
+func (t *Thread) PrivateWork(n int, cursor *int) {
+	t.t.Private(n, 1<<20, cursor)
+}
+
+// CriticalSection acquires static lock i, performs n read/write accesses
+// on its protected region (a per-lock line range), and releases it.
+func (t *Thread) CriticalSection(i, n int) {
+	t.t.CS(t.pb.locks[i], 7, 4, n)
+}
+
+// ForAll runs body once per thread within the current epoch.
+func (pb *ProgramBuilder) ForAll(body func(t *Thread)) {
+	pb.b.ForAll(func(wt *workload.T) { body(&Thread{t: wt, pb: pb}) })
+}
+
+// Build finalizes the program.
+func (pb *ProgramBuilder) Build() (*Program, error) {
+	if pb.finished {
+		return nil, fmt.Errorf("spcoh: program already built")
+	}
+	if pb.threads <= 0 || pb.threads > arch.MaxNodes {
+		return nil, fmt.Errorf("spcoh: invalid thread count %d", pb.threads)
+	}
+	pb.finished = true
+	return &Program{p: pb.b.Finish(len(pb.barriers), len(pb.locks))}, nil
+}

@@ -1,0 +1,269 @@
+// Package spcoh is a from-scratch reproduction of "Predicting Coherence
+// Communication by Tracking Synchronization Points at Run Time"
+// (Demetriades & Cho, MICRO 2012): a cycle-level chip-multiprocessor
+// simulator with a directory-based MESIF coherence protocol extended with
+// destination-set prediction, a broadcast snooping baseline, the paper's
+// SP-predictor and its ADDR/INST/UNI competitors, synthetic SPLASH-2 and
+// PARSEC workload stand-ins, and a harness that regenerates every table
+// and figure of the paper's evaluation.
+//
+// Quick start:
+//
+//	m, err := spcoh.RunBenchmark("ocean", spcoh.Options{Predictor: spcoh.SP})
+//	fmt.Printf("miss latency %.1f cycles, accuracy %.0f%%\n",
+//		m.AvgMissLatency, 100*m.PredictionAccuracy)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
+// reproductions of the paper's results.
+package spcoh
+
+import (
+	"fmt"
+
+	"spcoh/internal/arch"
+	"spcoh/internal/core"
+	"spcoh/internal/experiments"
+	"spcoh/internal/predictor"
+	"spcoh/internal/protocol"
+	"spcoh/internal/sim"
+	"spcoh/internal/workload"
+)
+
+// PredictorKind selects the coherence configuration of a run.
+type PredictorKind string
+
+// Available configurations.
+const (
+	// Directory is the baseline MESIF directory protocol (no prediction).
+	Directory PredictorKind = "directory"
+	// SP is the paper's synchronization-point-based predictor.
+	SP PredictorKind = "sp"
+	// Addr is the macroblock address-indexed group predictor.
+	Addr PredictorKind = "addr"
+	// Inst is the instruction (PC) indexed group predictor.
+	Inst PredictorKind = "inst"
+	// Uni is the single-entry locality predictor.
+	Uni PredictorKind = "uni"
+	// SPFiltered is SP behind a region snoop filter that suppresses
+	// prediction attempts on private data (the paper's §5.3 discussion).
+	SPFiltered PredictorKind = "sp+filter"
+	// Broadcast is the snooping protocol baseline.
+	Broadcast PredictorKind = "broadcast"
+)
+
+// Options configures a benchmark run. The zero value runs the baseline
+// directory protocol on the paper's 16-core machine at full workload scale.
+type Options struct {
+	Predictor PredictorKind // default Directory
+	Scale     float64       // workload scale; default 1.0
+	Seed      int64         // workload build seed; default 42
+	Threads   int           // cores/threads; default 16 (must match the 4x4 mesh)
+
+	// SPConfig overrides the SP-predictor parameters (nil = paper
+	// defaults). Only consulted when Predictor == SP.
+	SPConfig *SPConfig
+}
+
+// SPConfig mirrors the tunable parameters of the SP-predictor (§4).
+type SPConfig struct {
+	HistoryDepth  int     // signature history depth d (default 2)
+	HotThreshold  float64 // hot-set share threshold (default 0.10)
+	WarmupMisses  int     // d=0 warm-up (default 8; see package core)
+	NoiseMinComm  int     // noisy-instance filter (default 4)
+	ConfidenceMax int     // confidence counter ceiling (default 15)
+	StrideDetect  bool    // stride-2 repetitive pattern policy
+	MaxEntries    int     // SP-table capacity; 0 = unlimited
+}
+
+func (o Options) normalize() Options {
+	if o.Predictor == "" {
+		o.Predictor = Directory
+	}
+	if o.Scale == 0 {
+		o.Scale = 1.0
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.Threads == 0 {
+		o.Threads = 16
+	}
+	return o
+}
+
+// Metrics are the measurements of one run — the quantities the paper's
+// evaluation reports.
+type Metrics struct {
+	Benchmark string
+	Predictor string
+
+	Cycles uint64 // execution time
+	Misses uint64 // L2 misses
+
+	CommRatio          float64 // fraction of communicating misses (Fig. 1)
+	AvgMissLatency     float64 // cycles (Fig. 8)
+	CommMissLatency    float64
+	NonCommMissLatency float64
+
+	PredictionAccuracy float64 // fraction of communicating misses predicted (Fig. 7)
+	AccuracyBySource   map[string]float64
+	PredictedTargets   float64 // avg predicted set size (Table 5)
+	ActualTargets      float64 // avg minimum sufficient set size (Table 5)
+
+	NetworkBytes uint64  // interconnect traffic (Fig. 9)
+	Energy       float64 // NoC + lookup energy, model units (Fig. 11)
+	StorageBits  int     // predictor storage (Figs. 12-13)
+}
+
+// Benchmarks lists the 17 workloads in the paper's order.
+func Benchmarks() []string { return workload.Names() }
+
+// Experiments lists the regenerable table/figure IDs.
+func Experiments() []string {
+	var out []string
+	for _, e := range experiments.All() {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+func buildPredictors(o Options) ([]predictor.Predictor, error) {
+	n := o.Threads
+	switch o.Predictor {
+	case Directory, Broadcast:
+		return nil, nil
+	case SP:
+		cfg := core.DefaultConfig(n)
+		if s := o.SPConfig; s != nil {
+			if s.HistoryDepth > 0 {
+				cfg.HistoryDepth = s.HistoryDepth
+			}
+			if s.HotThreshold > 0 {
+				cfg.HotThreshold = s.HotThreshold
+			}
+			if s.WarmupMisses > 0 {
+				cfg.WarmupMisses = s.WarmupMisses
+			}
+			if s.NoiseMinComm > 0 {
+				cfg.NoiseMinComm = s.NoiseMinComm
+			}
+			if s.ConfidenceMax > 0 {
+				cfg.ConfidenceMax = s.ConfidenceMax
+			}
+			cfg.StrideDetect = s.StrideDetect
+			cfg.MaxEntries = s.MaxEntries
+		}
+		return core.NewSystem(cfg), nil
+	case SPFiltered:
+		preds := core.NewSystem(core.DefaultConfig(n))
+		for i := range preds {
+			preds[i] = predictor.NewRegionFilter(preds[i])
+		}
+		return preds, nil
+	case Addr, Inst, Uni:
+		preds := make([]predictor.Predictor, n)
+		for i := range preds {
+			switch o.Predictor {
+			case Addr:
+				preds[i] = predictor.NewAddr(arch.NodeID(i), n)
+			case Inst:
+				preds[i] = predictor.NewInst(arch.NodeID(i), n)
+			default:
+				preds[i] = predictor.NewUni(arch.NodeID(i), n)
+			}
+		}
+		return preds, nil
+	default:
+		return nil, fmt.Errorf("spcoh: unknown predictor %q", o.Predictor)
+	}
+}
+
+// RunBenchmark simulates one named benchmark under the given options.
+func RunBenchmark(bench string, o Options) (*Metrics, error) {
+	o = o.normalize()
+	prof, err := workload.ByName(bench)
+	if err != nil {
+		return nil, err
+	}
+	prog := prof.Build(o.Threads, o.Scale, o.Seed)
+	return RunProgram(&Program{p: prog}, o)
+}
+
+// RunProgram simulates a custom program (see NewProgram). The machine is
+// the paper's 16-core CMP by default; thread counts of 4 or 64 select a
+// 2x2 or 8x8 mesh with the same per-tile parameters.
+func RunProgram(p *Program, o Options) (*Metrics, error) {
+	o = o.normalize()
+	opt := sim.DefaultOptions()
+	if o.Threads != opt.Machine.Nodes {
+		m, err := protocol.ConfigFor(o.Threads)
+		if err != nil {
+			return nil, err
+		}
+		opt.Machine = m
+	}
+	if o.Predictor == Broadcast {
+		opt.Protocol = sim.Broadcast
+	} else {
+		preds, err := buildPredictors(o)
+		if err != nil {
+			return nil, err
+		}
+		opt.Predictors = preds
+	}
+	res, err := sim.Run(p.p, opt)
+	if err != nil {
+		return nil, err
+	}
+	return toMetrics(res), nil
+}
+
+func toMetrics(res *sim.Result) *Metrics {
+	m := &Metrics{
+		Benchmark:    res.Benchmark,
+		Predictor:    res.Predictor,
+		Cycles:       uint64(res.Cycles),
+		Misses:       res.Misses(),
+		CommRatio:    res.CommRatio(),
+		NetworkBytes: res.Net.Bytes,
+		Energy:       res.Energy.Total(),
+		StorageBits:  res.StorageBits,
+	}
+	m.AvgMissLatency = res.AvgMissLatency()
+	n := res.Nodes
+	if n.Communicating > 0 {
+		m.CommMissLatency = float64(n.CommLatencySum) / float64(n.Communicating)
+		m.PredictionAccuracy = n.Accuracy()
+		m.AccuracyBySource = map[string]float64{}
+		for tag, c := range n.PredCorrectByTag {
+			if c > 0 {
+				m.AccuracyBySource[predictor.Tag(tag).String()] =
+					float64(c) / float64(n.Communicating)
+			}
+		}
+	}
+	if n.NonCommunicating > 0 {
+		m.NonCommMissLatency = float64(n.NonCommLatencySum) / float64(n.NonCommunicating)
+	}
+	if n.Predicted > 0 {
+		m.PredictedTargets = float64(n.PredTargets) / float64(n.Predicted)
+	}
+	if n.Misses > 0 {
+		m.ActualTargets = float64(n.ActualTargets) / float64(n.Misses)
+	}
+	return m
+}
+
+// RunExperiment regenerates one paper table/figure and returns it rendered
+// as text. Scale 0 means full scale.
+func RunExperiment(id string, scale float64) (string, error) {
+	e, err := experiments.ByID(id)
+	if err != nil {
+		return "", err
+	}
+	cfg := experiments.Default()
+	if scale > 0 {
+		cfg.Scale = scale
+	}
+	return e.Run(experiments.NewRunner(cfg)).String(), nil
+}
