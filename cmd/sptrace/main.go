@@ -10,6 +10,7 @@ import (
 	"os"
 
 	"spcoh/internal/arch"
+	"spcoh/internal/detutil"
 	"spcoh/internal/stats"
 	"spcoh/internal/trace"
 )
@@ -74,9 +75,8 @@ func main() {
 	t.AddRowf("misses", misses)
 	t.AddRowf("communicating", comm)
 	t.AddRowf("sync-points", syncs)
-	for k, v := range map[string]int{"read": byKind["read"], "write": byKind["write"],
-		"upgrade": byKind["upgrade"], "barrier": byKind["barrier"], "lock": byKind["lock"]} {
-		t.AddRowf("  "+k, v)
+	for _, k := range detutil.SortedKeys(byKind) {
+		t.AddRowf("  "+k, byKind[k])
 	}
 	t.Render(os.Stdout)
 }

@@ -1,0 +1,73 @@
+// Command spvet is the repository's determinism linter: a stdlib-only
+// static analyzer that enforces the invariants the DES engine depends on
+// (reproducible experiments; see internal/event and internal/lint).
+//
+// Usage:
+//
+//	go run ./cmd/spvet ./...            # analyze every non-test package
+//	go run ./cmd/spvet ./internal/...   # a subtree
+//	go run ./cmd/spvet -checks          # list registered checks
+//
+// Findings print as "file:line: [check] message"; the exit status is 1 when
+// anything is found, 2 on analysis errors, 0 on a clean tree.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"spcoh/internal/lint"
+)
+
+func main() {
+	listChecks := flag.Bool("checks", false, "list registered checks and exit")
+	flag.Parse()
+
+	if *listChecks {
+		for _, c := range lint.Checks() {
+			scope := "all packages"
+			if c.SimOnly {
+				scope = "simulation packages"
+			}
+			fmt.Printf("%-12s (%s)\n    %s\n", c.Name, scope, c.Doc)
+		}
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+
+	root, modPath, err := lint.FindModule(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spvet:", err)
+		os.Exit(2)
+	}
+	a := &lint.Analyzer{
+		ModRoot: root,
+		ModPath: modPath,
+		// Simulation packages — code the DES drives, which must replay
+		// bit-identically — are everything under internal/ except the
+		// analyzer itself. CLIs and examples may read the host clock for
+		// progress reporting, but still get maprange/floatorder scrutiny.
+		IsSim: func(path string) bool {
+			return strings.HasPrefix(path, modPath+"/internal/") &&
+				!strings.HasPrefix(path, modPath+"/internal/lint")
+		},
+	}
+	findings, err := a.Run(args...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spvet:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "spvet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -6,6 +6,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"spcoh"
 )
@@ -35,7 +36,12 @@ func main() {
 		100*(1-sp.AvgMissLatency/base.AvgMissLatency),
 		100*(1-float64(sp.Cycles)/float64(base.Cycles)))
 	fmt.Println("\naccuracy by information source (fraction of communicating misses):")
-	for src, v := range sp.AccuracyBySource {
-		fmt.Printf("  %-10s %5.1f%%\n", src, 100*v)
+	srcs := make([]string, 0, len(sp.AccuracyBySource))
+	for src := range sp.AccuracyBySource { //spvet:ordered — sorted below
+		srcs = append(srcs, src)
+	}
+	sort.Strings(srcs)
+	for _, src := range srcs {
+		fmt.Printf("  %-10s %5.1f%%\n", src, 100*sp.AccuracyBySource[src])
 	}
 }

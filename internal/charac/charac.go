@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"spcoh/internal/arch"
+	"spcoh/internal/detutil"
 	"spcoh/internal/predictor"
 	"spcoh/internal/stats"
 	"spcoh/internal/trace"
@@ -185,9 +186,10 @@ func (a *Analysis) CoverageWhole() []float64 {
 // (Figure 4, "static instruction" curve).
 func (a *Analysis) CoverageByPC() []float64 {
 	var dists []stats.Distribution
-	for _, byPC := range a.PCDist {
-		for _, d := range byPC {
-			dists = append(dists, d)
+	for _, node := range detutil.SortedKeys(a.PCDist) {
+		byPC := a.PCDist[node]
+		for _, pc := range detutil.SortedKeys(byPC) {
+			dists = append(dists, byPC[pc])
 		}
 	}
 	return a.weightedCoverage(dists)
@@ -245,14 +247,10 @@ func (a *Analysis) EpochsOf(node arch.NodeID) []*Epoch {
 	return out
 }
 
-// StaticEpochIDs returns the distinct barrier-class static IDs observed.
+// StaticEpochIDs returns the distinct barrier-class static IDs observed,
+// in ascending order.
 func (a *Analysis) StaticEpochIDs() []uint64 {
-	out := make([]uint64, 0, len(a.staticBarrier))
-	for id := range a.staticBarrier {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return detutil.SortedKeys(a.staticBarrier)
 }
 
 // PatternClass classifies how a static epoch's hot set evolves across its

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"spcoh/internal/arch"
+	"spcoh/internal/detutil"
 	"spcoh/internal/event"
 	"spcoh/internal/predictor"
 	"spcoh/internal/workload"
@@ -214,11 +215,11 @@ func (co *Coordinator) Unlock(_ int, id uint64) {
 // diagnosis).
 func (co *Coordinator) Pending() string {
 	s := ""
-	for id, w := range co.barWaiting {
-		s += fmt.Sprintf("barrier %d: %d/%d arrived; ", id, len(w), co.n)
+	for _, id := range detutil.SortedKeys(co.barWaiting) {
+		s += fmt.Sprintf("barrier %d: %d/%d arrived; ", id, len(co.barWaiting[id]), co.n)
 	}
-	for id, st := range co.locks {
-		if len(st.queue) > 0 {
+	for _, id := range detutil.SortedKeys(co.locks) {
+		if st := co.locks[id]; len(st.queue) > 0 {
 			s += fmt.Sprintf("lock %d: %d queued; ", id, len(st.queue))
 		}
 	}

@@ -1,0 +1,174 @@
+// Package lint is a from-scratch, stdlib-only static analyzer that enforces
+// the simulator's determinism invariants (see internal/event: "experiments
+// must be reproducible"). It walks non-test packages and reports code whose
+// behaviour can differ between two runs with the same seed: randomized map
+// iteration, wall-clock or global-rand dependence, concurrency inside the
+// single-threaded DES, and order-dependent floating-point accumulation.
+//
+// A hazard that is genuinely order-independent can be suppressed by placing
+// a "//spvet:ordered" comment on the offending statement's line or the line
+// directly above it.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// OrderedAnnotation suppresses maprange/floatorder findings for the
+// statement it is attached to.
+const OrderedAnnotation = "spvet:ordered"
+
+// Finding is one reported determinism hazard.
+type Finding struct {
+	Pos   token.Position
+	Check string
+	Msg   string
+}
+
+// String renders the canonical "file:line: [check] message" form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Check, f.Msg)
+}
+
+// Check is one registered determinism analysis.
+type Check struct {
+	Name string
+	Doc  string
+	// SimOnly restricts the check to simulation packages (per
+	// Analyzer.IsSim); determinism of the DES does not require, say,
+	// a CLI to avoid wall-clock timestamps in its progress output.
+	SimOnly bool
+	Run     func(*Pass)
+}
+
+var registry []Check
+
+// Register adds a check to the global registry. Checks run in registration
+// order; the four built-in checks register at init time.
+func Register(c Check) {
+	for _, r := range registry {
+		if r.Name == c.Name {
+			panic("lint: duplicate check " + c.Name)
+		}
+	}
+	registry = append(registry, c)
+}
+
+// Checks returns the registered checks.
+func Checks() []Check {
+	out := make([]Check, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Pass carries one package through one check.
+type Pass struct {
+	Fset  *token.FileSet
+	Pkg   *Package
+	IsSim bool
+
+	analyzer *Analyzer
+	findings *[]Finding
+	// ordered holds, per filename, the set of lines carrying the
+	// OrderedAnnotation comment.
+	ordered map[string]map[int]bool
+}
+
+// Report records a finding at pos.
+func (p *Pass) Report(pos token.Pos, check, msg string) {
+	*p.findings = append(*p.findings, Finding{Pos: p.Fset.Position(pos), Check: check, Msg: msg})
+}
+
+// Suppressed reports whether the statement at pos carries the
+// OrderedAnnotation, either trailing on the same line or on the line above.
+func (p *Pass) Suppressed(pos token.Pos) bool {
+	position := p.Fset.Position(pos)
+	lines := p.ordered[position.Filename]
+	return lines[position.Line] || lines[position.Line-1]
+}
+
+// TypeOf returns the type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
+
+// Analyzer runs the registered checks over a module's packages.
+type Analyzer struct {
+	ModRoot string
+	ModPath string
+	// IsSim classifies import paths as simulation packages (DES-driven
+	// code that must be bit-reproducible). SimOnly checks are limited to
+	// packages for which this returns true. Nil means no package is.
+	IsSim func(importPath string) bool
+	// Checks overrides the global registry when non-nil.
+	Checks []Check
+}
+
+// Run loads the packages matching patterns and applies every check,
+// returning findings sorted by position then check name.
+func (a *Analyzer) Run(patterns ...string) ([]Finding, error) {
+	loader := NewLoader(a.ModRoot, a.ModPath)
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	checks := a.Checks
+	if checks == nil {
+		checks = Checks()
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		pass := &Pass{
+			Fset:     loader.Fset,
+			Pkg:      pkg,
+			IsSim:    a.IsSim != nil && a.IsSim(pkg.Path),
+			analyzer: a,
+			findings: &findings,
+			ordered:  orderedLines(loader.Fset, pkg.Files),
+		}
+		for _, c := range checks {
+			if c.SimOnly && !pass.IsSim {
+				continue
+			}
+			c.Run(pass)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		fi, fj := findings[i], findings[j]
+		if fi.Pos.Filename != fj.Pos.Filename {
+			return fi.Pos.Filename < fj.Pos.Filename
+		}
+		if fi.Pos.Line != fj.Pos.Line {
+			return fi.Pos.Line < fj.Pos.Line
+		}
+		return fi.Check < fj.Check
+	})
+	return findings, nil
+}
+
+// orderedLines maps filename -> lines carrying the OrderedAnnotation.
+func orderedLines(fset *token.FileSet, files []*ast.File) map[string]map[int]bool {
+	out := make(map[string]map[int]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, OrderedAnnotation) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := out[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]bool)
+					out[pos.Filename] = lines
+				}
+				lines[pos.Line] = true
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// wantRe matches expectation markers in fixture files: "// want:check".
+var wantRe = regexp.MustCompile(`want:([a-z]+)`)
+
+// fixtureAnalyzer treats every fixture package as a simulation package so
+// the SimOnly checks run.
+func fixtureAnalyzer(t *testing.T) *Analyzer {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Analyzer{
+		ModRoot: root,
+		ModPath: "fix",
+		IsSim:   func(string) bool { return true },
+	}
+}
+
+// wantedFindings scans a fixture package directory for marker comments and
+// returns the expected "file:line check" set.
+func wantedFindings(t *testing.T, pkg string) map[string]bool {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", pkg)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string]bool)
+	for _, e := range ents {
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			for _, m := range wantRe.FindAllStringSubmatch(sc.Text(), -1) {
+				want[fmt.Sprintf("%s/%s:%d %s", pkg, e.Name(), line, m[1])] = true
+			}
+		}
+		f.Close()
+	}
+	return want
+}
+
+func TestChecksAgainstFixtures(t *testing.T) {
+	cases := []struct {
+		pkg string
+		// minimum number of findings the fixture must produce, to guard
+		// against a fixture whose markers silently stopped matching.
+		atLeast int
+	}{
+		{"maprange", 4},
+		{"wallclock", 5},
+		{"goroutine", 5},
+		{"floatorder", 4},
+		{"clean", 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.pkg, func(t *testing.T) {
+			a := fixtureAnalyzer(t)
+			findings, err := a.Run("./" + tc.pkg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make(map[string]bool)
+			for _, f := range findings {
+				key := fmt.Sprintf("%s:%d %s", filepath.ToSlash(f.Pos.Filename), f.Pos.Line, f.Check)
+				got[key] = true
+			}
+			want := wantedFindings(t, tc.pkg)
+			if len(want) < tc.atLeast {
+				t.Fatalf("fixture %s declares %d markers, expected at least %d", tc.pkg, len(want), tc.atLeast)
+			}
+			for k := range want {
+				if !got[k] {
+					t.Errorf("missing finding %s", k)
+				}
+			}
+			for k := range got {
+				if !want[k] {
+					t.Errorf("unexpected finding %s", k)
+				}
+			}
+		})
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	a := fixtureAnalyzer(t)
+	findings, err := a.Run("./floatorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) == 0 {
+		t.Fatal("no findings")
+	}
+	s := findings[0].String()
+	re := regexp.MustCompile(`^floatorder/floatorder\.go:\d+: \[[a-z]+\] .+`)
+	if !re.MatchString(filepath.ToSlash(s)) {
+		t.Fatalf("finding format = %q", s)
+	}
+}
+
+func TestFindingsSorted(t *testing.T) {
+	a := fixtureAnalyzer(t)
+	findings, err := a.Run("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, len(findings))
+	for i, f := range findings {
+		keys[i] = fmt.Sprintf("%s:%08d:%s", f.Pos.Filename, f.Pos.Line, f.Check)
+	}
+	if !sort.StringsAreSorted(keys) {
+		t.Fatalf("findings not sorted:\n%s", strings.Join(keys, "\n"))
+	}
+}
+
+func TestSimOnlyScoping(t *testing.T) {
+	// With IsSim == nil, the wallclock and goroutine checks must not run.
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &Analyzer{ModRoot: root, ModPath: "fix"}
+	findings, err := a.Run("./wallclock", "./goroutine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if f.Check == "wallclock" || f.Check == "goroutine" {
+			t.Errorf("SimOnly check %s ran on a non-sim package: %s", f.Check, f)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	names := make(map[string]bool)
+	for _, c := range Checks() {
+		if c.Name == "" || c.Doc == "" || c.Run == nil {
+			t.Errorf("check %+v incomplete", c.Name)
+		}
+		names[c.Name] = true
+	}
+	for _, want := range []string{"maprange", "wallclock", "goroutine", "floatorder"} {
+		if !names[want] {
+			t.Errorf("check %s not registered", want)
+		}
+	}
+}
+
+// TestRepoIsClean runs the production configuration over the repository
+// itself: the tree must stay spvet-clean.
+func TestRepoIsClean(t *testing.T) {
+	root, modPath, err := FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &Analyzer{
+		ModRoot: root,
+		ModPath: modPath,
+		IsSim: func(path string) bool {
+			return strings.HasPrefix(path, modPath+"/internal/") &&
+				!strings.HasPrefix(path, modPath+"/internal/lint")
+		},
+	}
+	findings, err := a.Run("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

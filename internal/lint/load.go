@@ -1,0 +1,250 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package under analysis.
+type Package struct {
+	Path  string // import path
+	Dir   string // directory relative to the module root
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages of one module using only the
+// standard library: module-internal imports are type-checked recursively
+// from source, standard-library imports go through go/importer's source
+// importer. This keeps spvet free of any dependency on external analysis
+// frameworks.
+type Loader struct {
+	ModRoot string // absolute path of the module root (directory of go.mod)
+	ModPath string // module path declared in go.mod
+
+	Fset *token.FileSet
+
+	std  types.ImporterFrom
+	pkgs map[string]*Package
+}
+
+// FindModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func FindModule(dir string) (root, path string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: no module line in %s/go.mod", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+	}
+}
+
+// NewLoader returns a loader for the module rooted at modRoot.
+func NewLoader(modRoot, modPath string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		ModRoot: modRoot,
+		ModPath: modPath,
+		Fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:    make(map[string]*Package),
+	}
+}
+
+// Load resolves the given patterns ("./...", "./internal/...", "internal/sim")
+// against the module root and returns the matching packages, parsed and
+// type-checked, sorted by import path. Directories named "testdata", hidden
+// directories, and directories without non-test Go files are skipped.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirs, err := l.resolve(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, dir := range dirs {
+		pkg, err := l.load(l.importPath(dir), dir)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// importPath maps a module-root-relative directory to its import path.
+func (l *Loader) importPath(rel string) string {
+	if rel == "." || rel == "" {
+		return l.ModPath
+	}
+	return l.ModPath + "/" + filepath.ToSlash(rel)
+}
+
+// resolve expands patterns to module-root-relative package directories.
+func (l *Loader) resolve(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(rel string) bool {
+		rel = filepath.Clean(rel)
+		if !l.hasGoFiles(rel) {
+			return false
+		}
+		if !seen[rel] {
+			seen[rel] = true
+			dirs = append(dirs, rel)
+		}
+		return true
+	}
+	for _, pat := range patterns {
+		matched := false
+		pat = strings.TrimPrefix(pat, "./")
+		if rest, ok := strings.CutSuffix(pat, "..."); ok {
+			base := filepath.Clean(strings.TrimSuffix(rest, "/"))
+			if base == "" {
+				base = "."
+			}
+			err := filepath.WalkDir(filepath.Join(l.ModRoot, base), func(p string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if p != l.ModRoot && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				rel, err := filepath.Rel(l.ModRoot, p)
+				if err != nil {
+					return err
+				}
+				if add(rel) {
+					matched = true
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			matched = add(pat)
+		}
+		if !matched {
+			return nil, fmt.Errorf("lint: pattern %q matched no packages", pat)
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func (l *Loader) hasGoFiles(rel string) bool {
+	ents, err := os.ReadDir(filepath.Join(l.ModRoot, rel))
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// load parses and type-checks the package in the module-root-relative
+// directory rel, caching by import path.
+func (l *Loader) load(path, rel string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	abs := filepath.Join(l.ModRoot, rel)
+	ents, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		// Parse under the module-root-relative name so findings print
+		// stable, readable positions.
+		f, err := parser.ParseFile(l.Fset, filepath.Join(rel, n), mustRead(filepath.Join(abs, n)), parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", rel)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	cfg := types.Config{Importer: (*loaderImporter)(l)}
+	tpkg, err := cfg.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	p := &Package{Path: path, Dir: rel, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+func mustRead(path string) []byte {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil // surfaces as a parse error with the right filename
+	}
+	return data
+}
+
+// loaderImporter adapts Loader to types.ImporterFrom: module-internal paths
+// are checked from source, everything else is delegated to the standard
+// library's source importer.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	return li.ImportFrom(path, "", 0)
+}
+
+func (li *loaderImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		rel := "."
+		if path != l.ModPath {
+			rel = filepath.FromSlash(strings.TrimPrefix(path, l.ModPath+"/"))
+		}
+		p, err := l.load(path, rel)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}

@@ -1,0 +1,24 @@
+// Package goroutine exercises the goroutine check: the DES is
+// single-threaded, so go statements and channel operations are hazards.
+package goroutine
+
+func spawn(f func()) {
+	go f() // want:goroutine
+}
+
+func channels(ch chan int) int {
+	ch <- 1   // want:goroutine
+	v := <-ch // want:goroutine
+	select {  // want:goroutine
+	default:
+	}
+	for x := range ch { // want:goroutine
+		v += x
+	}
+	return v
+}
+
+// plain callbacks are the sanctioned alternative: no finding.
+func callback(after func(func()), f func()) {
+	after(f)
+}

@@ -1,0 +1,37 @@
+// Package wallclock exercises the wallclock check: host-clock reads and
+// the global math/rand source are hazards in simulation packages; injected
+// seeded *rand.Rand instances are the sanctioned alternative.
+package wallclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clock() int64 {
+	t := time.Now()              // want:wallclock
+	time.Sleep(time.Millisecond) // want:wallclock
+	return t.UnixNano()
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want:wallclock
+}
+
+func reference() func() time.Time {
+	return time.Now // want:wallclock
+}
+
+func globalRand(n int) int {
+	rand.Shuffle(n, func(i, j int) {}) // want:wallclock
+	return rand.Intn(n)                // want:wallclock
+}
+
+// seeded uses the injected-source idiom: constructors and methods are fine.
+func seeded(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+// duration arithmetic without reading the clock is fine.
+func budget(d time.Duration) time.Duration { return 2 * d }

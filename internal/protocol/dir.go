@@ -5,6 +5,7 @@ import (
 
 	"spcoh/internal/arch"
 	"spcoh/internal/cache"
+	"spcoh/internal/detutil"
 	"spcoh/internal/predictor"
 )
 
@@ -338,7 +339,8 @@ func (d *DirSlice) handlePut(e *dirLine, m Msg) {
 //
 // See System.CheckCoherence.
 func (d *DirSlice) checkInvariants() (hard, soft []string) {
-	for l, e := range d.lines {
+	for _, l := range detutil.SortedKeys(d.lines) {
+		e := d.lines[l]
 		if e.busy || len(e.queue) > 0 {
 			hard = append(hard, fmt.Sprintf("line %#x: busy or queued at quiescence", uint64(l)))
 			continue

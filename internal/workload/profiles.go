@@ -2,7 +2,8 @@ package workload
 
 import (
 	"fmt"
-	"sort"
+
+	"spcoh/internal/detutil"
 )
 
 // Profile describes one benchmark stand-in: its builder plus the paper's
@@ -52,12 +53,7 @@ func All() []Profile {
 
 // sortedNames is a test aid: registry keys sorted.
 func sortedNames() []string {
-	out := make([]string, 0, len(registry))
-	for n := range registry {
-		out = append(out, n)
-	}
-	sort.Strings(out)
-	return out
+	return detutil.SortedKeys(registry)
 }
 
 func scaleIters(iters int, scale float64) int {

@@ -1,0 +1,44 @@
+#!/bin/sh
+# check.sh — the repository's CI gate. Chains every static and dynamic
+# verification, in cheapest-first order:
+#
+#   gofmt -l      formatting
+#   go vet        stock correctness vet
+#   go build      compilation
+#   spvet         determinism lint (internal/lint): maprange, wallclock,
+#                 goroutine, floatorder
+#   go test       full unit/integration suite, including the runtime
+#                 determinism harness (TestDeterministicReplay)
+#   go test -race race detector on the packages exercising concurrency-safe
+#                 surfaces (the simulator itself is single-threaded by
+#                 design; spvet's goroutine check enforces that statically)
+#
+# Any gate failing exits non-zero.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$fmt" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== spvet (determinism lint)"
+go run ./cmd/spvet ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race"
+go test -race ./internal/event ./internal/lint ./internal/sim \
+    ./internal/stats ./internal/trace ./internal/workload
+
+echo "check.sh: all gates passed"
