@@ -46,7 +46,10 @@ func runExperiment(b *testing.B, id string) *stats.Table {
 	}
 	var t *stats.Table
 	for i := 0; i < b.N; i++ {
-		t = e.Run(r)
+		t, err = e.Run(r)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.Log("\n" + t.String())
 	return t

@@ -67,11 +67,22 @@ func main() {
 	tb := stats.NewTable("spsim: "+*proto+"/"+*pred,
 		"benchmark", "cycles", "misses", "comm%", "missLat", "commLat", "nonCommLat",
 		"acc%", "predTgt", "actTgt", "netKB", "energy")
+	// With -all, a bad benchmark is recorded and the rest still run; the
+	// failures are reported together at the end. A single-benchmark run
+	// keeps fail-fast behaviour.
+	var failures []string
+	fail := func(name string, err error) {
+		if !*all {
+			fmt.Fprintln(os.Stderr, "spsim:", err)
+			os.Exit(1)
+		}
+		failures = append(failures, fmt.Sprintf("%s: %v", name, err))
+	}
 	for _, name := range names {
 		p, err := workload.ByName(name)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(name, err)
+			continue
 		}
 		prog := p.Build(16, *scale, *seed)
 		opt := sim.DefaultOptions()
@@ -80,18 +91,26 @@ func main() {
 		} else {
 			opt.Predictors, err = buildPredictors(*pred, 16)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
+				// A bad predictor name fails every benchmark: always fatal.
+				fmt.Fprintln(os.Stderr, "spsim:", err)
 				os.Exit(1)
 			}
 		}
 		res, err := sim.Run(prog, opt)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(name, err)
+			continue
 		}
 		row(tb, name, res)
 	}
 	tb.Render(os.Stdout)
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "spsim: %d/%d benchmarks failed:\n", len(failures), len(names))
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "  "+f)
+		}
+		os.Exit(1)
+	}
 }
 
 func row(tb *stats.Table, name string, r *sim.Result) {

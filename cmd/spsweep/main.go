@@ -1,0 +1,335 @@
+// Command spsweep runs the paper's evaluation matrix — benchmark ×
+// configuration × seed × scale — as independent simulation jobs on a
+// bounded worker pool, checkpointing every completed cell into a resumable
+// artifact store (see internal/sweep).
+//
+// Usage:
+//
+//	spsweep run    [-jobs N] [-bench all|a,b] [-kinds eval|all|a,b]
+//	               [-seeds 42,43] [-scales 0.25] [-quick] [-threads 16]
+//	               [-timeout 10m] [-retries 0] [-dir results/sweep]
+//	               [-format table|csv|json] [-summary results/BENCH_sweep.json]
+//	spsweep resume [-jobs N] [-timeout ...] [-retries ...] [-dir ...]
+//	               [-format ...] [-summary ...]       # continue an interrupted sweep
+//	spsweep status [-dir ...]                         # completion state of the store
+//	spsweep list   [matrix flags]                     # expanded jobs + digests
+//
+// The merged output (stdout) is sorted by job key and byte-identical for
+// any -jobs value; timing and scheduling details go to stderr and the
+// -summary file.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"spcoh/internal/experiments"
+	"spcoh/internal/sim"
+	"spcoh/internal/sweep"
+	"spcoh/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = cmdRun(os.Args[2:], false)
+	case "resume":
+		err = cmdRun(os.Args[2:], true)
+	case "status":
+		err = cmdStatus(os.Args[2:])
+	case "list":
+		err = cmdList(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "spsweep: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spsweep:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: spsweep <run|resume|status|list> [flags]
+
+  run     execute a sweep matrix, checkpointing each finished job
+  resume  continue the interrupted sweep recorded in the store's manifest
+  status  report completion state of a store
+  list    print the expanded job matrix and digests
+
+Run 'spsweep <subcommand> -h' for flags.`)
+}
+
+// matrixFlags registers the matrix-shaping flags on fs.
+type matrixFlags struct {
+	bench, kinds, seeds, scales *string
+	threads                     *int
+	quick                       *bool
+}
+
+func addMatrixFlags(fs *flag.FlagSet) *matrixFlags {
+	return &matrixFlags{
+		bench:   fs.String("bench", "all", `benchmarks: "all" or comma-separated names`),
+		kinds:   fs.String("kinds", "eval", `configurations: "eval" (paper §5 set), "all", or comma-separated`),
+		seeds:   fs.String("seeds", "42", "comma-separated workload build seeds"),
+		scales:  fs.String("scales", "1.0", "comma-separated workload scale factors"),
+		threads: fs.Int("threads", 16, "threads per workload (must match the machine's node count)"),
+		quick:   fs.Bool("quick", false, "shorthand for -scales 0.25"),
+	}
+}
+
+func (m *matrixFlags) matrix() (sweep.Matrix, error) {
+	benches := workload.Names()
+	if *m.bench != "all" {
+		benches = splitList(*m.bench)
+		for _, b := range benches {
+			if _, err := workload.ByName(b); err != nil {
+				return sweep.Matrix{}, err
+			}
+		}
+	}
+	var kinds []string
+	switch *m.kinds {
+	case "eval":
+		kinds = experiments.EvalKinds()
+	case "all":
+		kinds = experiments.Kinds()
+	default:
+		kinds = splitList(*m.kinds)
+		valid := make(map[string]bool)
+		for _, k := range experiments.Kinds() {
+			valid[k] = true
+		}
+		for _, k := range kinds {
+			if !valid[k] {
+				return sweep.Matrix{}, fmt.Errorf("unknown kind %q (have: %s)",
+					k, strings.Join(experiments.Kinds(), ","))
+			}
+		}
+	}
+	var seeds []int64
+	for _, s := range splitList(*m.seeds) {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return sweep.Matrix{}, fmt.Errorf("bad seed %q: %v", s, err)
+		}
+		seeds = append(seeds, v)
+	}
+	scales := *m.scales
+	if *m.quick {
+		scales = "0.25"
+	}
+	var scaleVals []float64
+	for _, s := range splitList(scales) {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v <= 0 {
+			return sweep.Matrix{}, fmt.Errorf("bad scale %q", s)
+		}
+		scaleVals = append(scaleVals, v)
+	}
+	return sweep.Matrix{
+		Benches: benches,
+		Kinds:   kinds,
+		Seeds:   seeds,
+		Scales:  scaleVals,
+		Threads: *m.threads,
+	}, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// runCell is the production executor: one self-contained simulation per
+// job (experiments.RunCell shares no state between cells).
+func runCell(j sweep.Job) (*sim.Result, error) {
+	return experiments.RunCell(experiments.Config{
+		Threads: j.Threads,
+		Scale:   j.Scale,
+		Seed:    j.Seed,
+	}, j.Bench, j.Kind)
+}
+
+func cmdRun(args []string, resume bool) error {
+	name := "run"
+	if resume {
+		name = "resume"
+	}
+	fs := flag.NewFlagSet("spsweep "+name, flag.ExitOnError)
+	var mf *matrixFlags
+	if !resume {
+		mf = addMatrixFlags(fs)
+	}
+	jobs := fs.Int("jobs", runtime.NumCPU(), "worker pool size")
+	timeout := fs.Duration("timeout", 0, "per-attempt wall-clock timeout (0 = none)")
+	retries := fs.Int("retries", 0, "additional attempts after a failed one")
+	dir := fs.String("dir", "results/sweep", "artifact store directory")
+	format := fs.String("format", "table", "merged output format: table|csv|json")
+	summary := fs.String("summary", "results/BENCH_sweep.json", `summary JSON path ("" disables)`)
+	fs.Parse(args)
+
+	store, err := sweep.Open(*dir)
+	if err != nil {
+		return err
+	}
+	var matrix sweep.Matrix
+	if resume {
+		if !store.HasManifestFile() {
+			return fmt.Errorf("resume: no sweep recorded in %s (run 'spsweep run' first)", *dir)
+		}
+		m, ok := store.Matrix()
+		if !ok {
+			return fmt.Errorf("resume: manifest in %s has no matrix", *dir)
+		}
+		matrix = m
+	} else {
+		matrix, err = mf.matrix()
+		if err != nil {
+			return err
+		}
+		if err := store.SetMatrix(matrix); err != nil {
+			return err
+		}
+	}
+	allJobs := matrix.Jobs()
+	fmt.Fprintf(os.Stderr, "spsweep: %s: %d jobs (%d benches x %d kinds x %d seeds x %d scales) on %d workers\n",
+		name, len(allJobs), len(matrix.Benches), len(matrix.Kinds), len(matrix.Seeds), len(matrix.Scales), *jobs)
+
+	// SIGINT/SIGTERM stop the sweep after in-flight jobs; completed cells
+	// are already checkpointed, so 'spsweep resume' picks up from there.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	done := 0
+	opt := sweep.Options{
+		Workers: *jobs,
+		Timeout: *timeout,
+		Retries: *retries,
+		Store:   store,
+		Progress: func(jr sweep.JobResult) {
+			done++
+			state := "ok"
+			switch {
+			case jr.Err != nil:
+				state = "FAIL: " + jr.Err.Error()
+			case jr.Cached:
+				state = "cached"
+			}
+			fmt.Fprintf(os.Stderr, "spsweep: [%d/%d] %-40s %6.1fs  %s\n",
+				done, len(allJobs), jr.Job.Key(), jr.Wall.Seconds(), state)
+		},
+	}
+	rep := sweep.Run(ctx, allJobs, runCell, opt)
+
+	switch *format {
+	case "table":
+		rep.FormatTable(os.Stdout)
+	case "csv":
+		if err := rep.FormatCSV(os.Stdout); err != nil {
+			return err
+		}
+	case "json":
+		if err := rep.FormatJSON(os.Stdout); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown format %q (table|csv|json)", *format)
+	}
+
+	if *summary != "" {
+		if err := sweep.WriteSummary(*summary, rep.Summarize(matrix, *jobs)); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "spsweep: summary written to %s\n", *summary)
+	}
+	fmt.Fprintf(os.Stderr, "spsweep: %d jobs: %d cached, %d executed, %d failed in %.1fs\n",
+		len(allJobs), rep.Cached, rep.Executed, rep.Failed, rep.Wall.Seconds())
+	if rep.Failed > 0 {
+		return fmt.Errorf("%d job(s) failed", rep.Failed)
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("interrupted; completed cells are checkpointed, 'spsweep resume -dir %s' continues", *dir)
+	}
+	return nil
+}
+
+func cmdStatus(args []string) error {
+	fs := flag.NewFlagSet("spsweep status", flag.ExitOnError)
+	dir := fs.String("dir", "results/sweep", "artifact store directory")
+	verbose := fs.Bool("v", false, "list pending job keys")
+	fs.Parse(args)
+
+	store, err := sweep.Open(*dir)
+	if err != nil {
+		return err
+	}
+	if !store.HasManifestFile() {
+		return fmt.Errorf("no sweep recorded in %s", *dir)
+	}
+	matrix, ok := store.Matrix()
+	if !ok {
+		return fmt.Errorf("manifest in %s has no matrix", *dir)
+	}
+	var complete, pending int
+	var pendingKeys []string
+	for _, j := range matrix.Jobs() {
+		if _, ok := store.Lookup(j); ok {
+			complete++
+		} else {
+			pending++
+			pendingKeys = append(pendingKeys, j.Key())
+		}
+	}
+	total := complete + pending
+	fmt.Printf("store:    %s\n", *dir)
+	fmt.Printf("matrix:   %s\n", matrix.Digest()[:16])
+	fmt.Printf("jobs:     %d/%d complete, %d pending\n", complete, total, pending)
+	if *verbose {
+		for _, k := range pendingKeys {
+			fmt.Printf("pending:  %s\n", k)
+		}
+	}
+	if pending > 0 {
+		fmt.Printf("hint:     spsweep resume -dir %s\n", *dir)
+	}
+	return nil
+}
+
+func cmdList(args []string) error {
+	fs := flag.NewFlagSet("spsweep list", flag.ExitOnError)
+	mf := addMatrixFlags(fs)
+	fs.Parse(args)
+
+	matrix, err := mf.matrix()
+	if err != nil {
+		return err
+	}
+	jobs := matrix.Jobs()
+	for _, j := range jobs {
+		fmt.Printf("%-48s %s\n", j.Key(), j.Digest()[:16])
+	}
+	fmt.Fprintf(os.Stderr, "spsweep: %d jobs, matrix %s\n", len(jobs), matrix.Digest()[:16])
+	return nil
+}

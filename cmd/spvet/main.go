@@ -16,7 +16,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"spcoh/internal/lint"
 )
@@ -51,12 +50,9 @@ func main() {
 		ModPath: modPath,
 		// Simulation packages — code the DES drives, which must replay
 		// bit-identically — are everything under internal/ except the
-		// analyzer itself. CLIs and examples may read the host clock for
-		// progress reporting, but still get maprange/floatorder scrutiny.
-		IsSim: func(path string) bool {
-			return strings.HasPrefix(path, modPath+"/internal/") &&
-				!strings.HasPrefix(path, modPath+"/internal/lint")
-		},
+		// analyzer itself and the sweep orchestrator (see
+		// lint.DefaultIsSim for the rationale).
+		IsSim: lint.DefaultIsSim(modPath),
 	}
 	findings, err := a.Run(args...)
 	if err != nil {

@@ -14,43 +14,55 @@ import (
 // counts are smaller because the synthetic programs run scaled-down
 // iteration counts; the *structure* — static sync-point populations — is
 // matched).
-func Table1(r *Runner) *stats.Table {
+func Table1(r *Runner) (*stats.Table, error) {
 	t := stats.NewTable("Table 1: sync-epoch statistics (per-core average)",
 		"benchmark", "staticCS", "staticCS(paper)", "staticEpochs", "staticEpochs(paper)",
 		"dynEpochs/core", "dynEpochs(paper)", "input(paper)")
 	for _, name := range Benchmarks() {
-		prof, _ := workload.ByName(name)
-		a := r.Analysis(name)
+		prof, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		a, err := r.Analysis(name)
+		if err != nil {
+			return nil, err
+		}
 		cs, se, dyn := a.EpochStats()
 		t.AddRowf(name, cs, prof.PaperStaticCS, se, prof.PaperStaticEpochs,
 			dyn, prof.PaperDynEpochs, prof.PaperInput)
 	}
 	t.AddNote("dynamic counts scale with -scale; paper columns are the published Table 1")
-	return t
+	return t, nil
 }
 
 // Fig1 reproduces Figure 1: the ratio of communicating to
 // non-communicating misses per benchmark.
-func Fig1(r *Runner) *stats.Table {
+func Fig1(r *Runner) (*stats.Table, error) {
 	t := stats.NewTable("Figure 1: ratio of communicating misses",
 		"benchmark", "communicating", "non-communicating", "misses")
 	var ratios []float64
 	for _, name := range Benchmarks() {
-		res := r.Run(name, "dir")
+		res, err := r.Run(name, "dir")
+		if err != nil {
+			return nil, err
+		}
 		c := res.CommRatio()
 		ratios = append(ratios, c)
 		t.AddRowf(name, c, 1-c, res.Misses())
 	}
 	t.AddRowf("average", stats.ArithMean(ratios), 1-stats.ArithMean(ratios), "")
 	t.AddNote("paper: communicating misses account for 62%% on average, with large variation")
-	return t
+	return t, nil
 }
 
 // Fig2 reproduces Figure 2: the communication distribution of core 0 in
 // bodytrack at three granularities: (a) whole execution, (b) four
 // consecutive sync-epochs, (c) five dynamic instances of one sync-epoch.
-func Fig2(r *Runner) *stats.Table {
-	a := r.Analysis("bodytrack")
+func Fig2(r *Runner) (*stats.Table, error) {
+	a, err := r.Analysis("bodytrack")
+	if err != nil {
+		return nil, err
+	}
 	n := r.Cfg.Threads
 	t := stats.NewTable("Figure 2: communication distribution of core 0 in bodytrack",
 		append([]string{"interval"}, coreHeaders(n)...)...)
@@ -101,17 +113,20 @@ func Fig2(r *Runner) *stats.Table {
 		rowFor(fmt.Sprintf("(c) epoch %d inst %d", best, e.Instance), e.Dist)
 	}
 	t.AddNote("paper: sharp changes at interval boundaries; few hot targets per epoch")
-	return t
+	return t, nil
 }
 
 // Fig4 reproduces Figure 4: average cumulative communication locality of
 // bodytrack, fmm and water-ns at sync-epoch, whole-interval and static-
 // instruction granularity.
-func Fig4(r *Runner) *stats.Table {
+func Fig4(r *Runner) (*stats.Table, error) {
 	t := stats.NewTable("Figure 4: communication locality (cumulative % volume vs #cores)",
 		append([]string{"benchmark", "granularity"}, coreHeaders(r.Cfg.Threads)...)...)
 	for _, name := range []string{"bodytrack", "fmm", "water-ns"} {
-		a := r.Analysis(name)
+		a, err := r.Analysis(name)
+		if err != nil {
+			return nil, err
+		}
 		for _, g := range []struct {
 			label string
 			cov   []float64
@@ -128,34 +143,41 @@ func Fig4(r *Runner) *stats.Table {
 		}
 	}
 	t.AddNote("paper: sync-epoch curves dominate whole-interval and instruction granularity")
-	return t
+	return t, nil
 }
 
 // Fig5 reproduces Figure 5: the distribution of sync-epochs by hot
 // communication set size (10%% threshold).
-func Fig5(r *Runner) *stats.Table {
+func Fig5(r *Runner) (*stats.Table, error) {
 	t := stats.NewTable("Figure 5: epochs by hot communication set size (10% threshold)",
 		"benchmark", "size=1", "size=2", "size=3", "size=4", "size>=5")
 	var small stats.Mean
 	for _, name := range Benchmarks() {
-		h := r.Analysis(name).HotSetSizes(0.10)
+		a, err := r.Analysis(name)
+		if err != nil {
+			return nil, err
+		}
+		h := a.HotSetSizes(0.10)
 		t.AddRowf(name, h.Fraction(1), h.Fraction(2), h.Fraction(3), h.Fraction(4), h.FractionAtLeast(5))
 		small.Add(1 - h.FractionAtLeast(5))
 	}
 	t.AddNote("fraction of epochs with hot set <= 4: %.0f%% (paper: more than 78%%)", 100*small.Value())
-	return t
+	return t, nil
 }
 
 // Fig6 reproduces Figure 6: example hot-set patterns across dynamic
 // instances of a sync-epoch, and a per-benchmark classification summary.
-func Fig6(r *Runner) *stats.Table {
+func Fig6(r *Runner) (*stats.Table, error) {
 	n := r.Cfg.Threads
 	t := stats.NewTable("Figure 6: hot communication set patterns across dynamic instances",
 		"benchmark", "epoch", "instances (bit vectors, node 0 left)", "class", "stride")
 
 	// Example pattern plots from structurally distinct benchmarks.
 	for _, name := range []string{"facesim", "ocean", "radiosity", "fmm"} {
-		a := r.Analysis(name)
+		a, err := r.Analysis(name)
+		if err != nil {
+			return nil, err
+		}
 		shown := 0
 		for _, id := range a.StaticEpochIDs() {
 			insts := a.InstancesOf(0, id)
@@ -190,7 +212,10 @@ func Fig6(r *Runner) *stats.Table {
 
 	// Classification summary over every benchmark's static epochs.
 	for _, name := range Benchmarks() {
-		a := r.Analysis(name)
+		a, err := r.Analysis(name)
+		if err != nil {
+			return nil, err
+		}
 		counts := map[charac.PatternClass]int{}
 		for node := arch.NodeID(0); int(node) < n; node++ {
 			for _, id := range a.StaticEpochIDs() {
@@ -212,7 +237,7 @@ func Fig6(r *Runner) *stats.Table {
 				counts[charac.PatternMixed], counts[charac.PatternRandom]),
 			"", "")
 	}
-	return t
+	return t, nil
 }
 
 func coreHeaders(n int) []string {

@@ -10,13 +10,19 @@ import (
 // down by the information source (d=0 interval activity, sync-epoch
 // history, lock entries, recovery), plus the ideal a-priori-hot-set
 // accuracy from an oracle profiling pass.
-func Fig7(r *Runner) *stats.Table {
+func Fig7(r *Runner) (*stats.Table, error) {
 	t := stats.NewTable("Figure 7: SP-prediction accuracy (% of communicating misses)",
 		"benchmark", "d=0", "d=2", "lock", "recovery", "total", "ideal")
 	var tot, ideal []float64
 	for _, name := range Benchmarks() {
-		res := r.Run(name, "sp")
-		or := r.Run(name, "oracle")
+		res, err := r.Run(name, "sp")
+		if err != nil {
+			return nil, err
+		}
+		or, err := r.Run(name, "oracle")
+		if err != nil {
+			return nil, err
+		}
 		n := res.Nodes
 		pct := func(v uint64) float64 {
 			if n.Communicating == 0 {
@@ -36,15 +42,19 @@ func Fig7(r *Runner) *stats.Table {
 	}
 	t.AddRowf("average", "", "", "", "", stats.ArithMean(tot), stats.ArithMean(ideal))
 	t.AddNote("paper: 77%% average, best 98%% (x264), worst 59%% (radiosity)")
-	return t
+	return t, nil
 }
 
 // Table5 reproduces Table 5: average actual vs predicted target set sizes.
-func Table5(r *Runner) *stats.Table {
+func Table5(r *Runner) (*stats.Table, error) {
 	t := stats.NewTable("Table 5: average actual and predicted set size",
 		"benchmark", "actual targets/req", "predicted targets/req", "ratio")
 	for _, name := range Benchmarks() {
-		n := r.Run(name, "sp").Nodes
+		res, err := r.Run(name, "sp")
+		if err != nil {
+			return nil, err
+		}
+		n := res.Nodes
 		actual := 0.0
 		if n.Misses > 0 {
 			actual = float64(n.ActualTargets) / float64(n.Misses)
@@ -60,39 +70,62 @@ func Table5(r *Runner) *stats.Table {
 		t.AddRowf(name, actual, pred, ratio)
 	}
 	t.AddNote("paper: minimum sufficient sets are close to 1; predicted sets are ~2-3x larger")
-	return t
+	return t, nil
 }
 
 // Fig8 reproduces Figure 8: average miss latency of the baseline
 // directory, broadcast and SP-prediction, normalized to the directory.
-func Fig8(r *Runner) *stats.Table {
+func Fig8(r *Runner) (*stats.Table, error) {
 	t := stats.NewTable("Figure 8: average miss latency (normalized to directory)",
 		"benchmark", "directory", "broadcast", "SP-predictor", "dir(cycles)")
 	var sp, bc []float64
 	for _, name := range Benchmarks() {
-		base := r.Run(name, "dir").AvgMissLatency()
-		b := r.Run(name, "bcast").AvgMissLatency() / base
-		s := r.Run(name, "sp").AvgMissLatency() / base
+		dir, err := r.Run(name, "dir")
+		if err != nil {
+			return nil, err
+		}
+		bcast, err := r.Run(name, "bcast")
+		if err != nil {
+			return nil, err
+		}
+		spRes, err := r.Run(name, "sp")
+		if err != nil {
+			return nil, err
+		}
+		base := dir.AvgMissLatency()
+		b := bcast.AvgMissLatency() / base
+		s := spRes.AvgMissLatency() / base
 		t.AddRowf(name, 1.0, b, s, base)
 		sp = append(sp, s)
 		bc = append(bc, b)
 	}
 	t.AddRowf("average", 1.0, stats.ArithMean(bc), stats.ArithMean(sp), "")
 	t.AddNote("paper: SP reduces miss latency 13%% on average, attaining up to 75%% of broadcast's gain")
-	return t
+	return t, nil
 }
 
 // Fig9 reproduces Figure 9: additional bandwidth demands of SP-prediction
 // relative to the baseline directory protocol, split by the miss class
 // that caused the overhead.
-func Fig9(r *Runner) *stats.Table {
+func Fig9(r *Runner) (*stats.Table, error) {
 	t := stats.NewTable("Figure 9: additional bandwidth of SP-prediction vs directory (%)",
 		"benchmark", "total", "on communicating", "on non-communicating", "broadcast adds")
 	var tot []float64
 	for _, name := range Benchmarks() {
-		base := float64(r.Run(name, "dir").Net.Bytes)
-		spRes := r.Run(name, "sp")
-		bcast := float64(r.Run(name, "bcast").Net.Bytes)
+		dir, err := r.Run(name, "dir")
+		if err != nil {
+			return nil, err
+		}
+		spRes, err := r.Run(name, "sp")
+		if err != nil {
+			return nil, err
+		}
+		bcastRes, err := r.Run(name, "bcast")
+		if err != nil {
+			return nil, err
+		}
+		base := float64(dir.Net.Bytes)
+		bcast := float64(bcastRes.Net.Bytes)
 		add := 100 * (float64(spRes.Net.Bytes) - base) / base
 		pb := float64(spRes.Nodes.PredBytesComm + spRes.Nodes.PredBytesNonComm)
 		commShare, nonShare := 0.0, 0.0
@@ -105,50 +138,80 @@ func Fig9(r *Runner) *stats.Table {
 	}
 	t.AddRowf("average", stats.ArithMean(tot), "", "", "")
 	t.AddNote("paper: +18%% on average, ~70%% of it from predicting non-communicating misses; well below 10%% of broadcast's addition")
-	return t
+	return t, nil
 }
 
 // Fig10 reproduces Figure 10: execution time normalized to the directory.
-func Fig10(r *Runner) *stats.Table {
+func Fig10(r *Runner) (*stats.Table, error) {
 	t := stats.NewTable("Figure 10: execution time (normalized to directory)",
 		"benchmark", "directory", "broadcast", "SP-predictor", "dir(cycles)")
 	var sp []float64
 	for _, name := range Benchmarks() {
-		base := float64(r.Run(name, "dir").Cycles)
-		b := float64(r.Run(name, "bcast").Cycles) / base
-		s := float64(r.Run(name, "sp").Cycles) / base
+		dir, err := r.Run(name, "dir")
+		if err != nil {
+			return nil, err
+		}
+		bcast, err := r.Run(name, "bcast")
+		if err != nil {
+			return nil, err
+		}
+		spRes, err := r.Run(name, "sp")
+		if err != nil {
+			return nil, err
+		}
+		base := float64(dir.Cycles)
+		b := float64(bcast.Cycles) / base
+		s := float64(spRes.Cycles) / base
 		t.AddRowf(name, 1.0, b, s, base)
 		sp = append(sp, s)
 	}
 	t.AddRowf("average", 1.0, "", stats.ArithMean(sp), "")
 	t.AddNote("paper: SP improves execution time by 7%% on average; best 14%% (x264)")
-	return t
+	return t, nil
 }
 
 // Fig11 reproduces Figure 11: energy consumed on the NoC and cache
 // lookups, normalized to the directory.
-func Fig11(r *Runner) *stats.Table {
+func Fig11(r *Runner) (*stats.Table, error) {
 	t := stats.NewTable("Figure 11: NoC + snoop-lookup energy (normalized to directory)",
 		"benchmark", "directory", "broadcast", "SP-predictor")
 	var sp, bc []float64
 	for _, name := range Benchmarks() {
-		base := r.Run(name, "dir").Energy.Total()
-		b := r.Run(name, "bcast").Energy.Total() / base
-		s := r.Run(name, "sp").Energy.Total() / base
+		dir, err := r.Run(name, "dir")
+		if err != nil {
+			return nil, err
+		}
+		bcast, err := r.Run(name, "bcast")
+		if err != nil {
+			return nil, err
+		}
+		spRes, err := r.Run(name, "sp")
+		if err != nil {
+			return nil, err
+		}
+		base := dir.Energy.Total()
+		b := bcast.Energy.Total() / base
+		s := spRes.Energy.Total() / base
 		t.AddRowf(name, 1.0, b, s)
 		sp = append(sp, s)
 		bc = append(bc, b)
 	}
 	t.AddRowf("average", 1.0, stats.ArithMean(bc), stats.ArithMean(sp))
 	t.AddNote("paper: SP adds 25%% over directory; broadcast costs 2.4x")
-	return t
+	return t, nil
 }
 
 // tradeoffPoint computes one Figure 12/13 point for a run: additional
 // request bandwidth per miss (%) vs misses incurring indirection (%).
-func tradeoffPoint(r *Runner, bench, kind string) (x, y float64) {
-	base := r.Run(bench, "dir")
-	res := r.Run(bench, kind)
+func tradeoffPoint(r *Runner, bench, kind string) (x, y float64, err error) {
+	base, err := r.Run(bench, "dir")
+	if err != nil {
+		return 0, 0, err
+	}
+	res, err := r.Run(bench, kind)
+	if err != nil {
+		return 0, 0, err
+	}
 	x = 100 * (float64(res.Net.Bytes) - float64(base.Net.Bytes)) / float64(base.Net.Bytes)
 	if x < 0 {
 		x = 0
@@ -157,31 +220,37 @@ func tradeoffPoint(r *Runner, bench, kind string) (x, y float64) {
 	if res.Nodes.Misses > 0 {
 		y = 100 * float64(res.Nodes.Misses-res.Nodes.PredCorrect) / float64(res.Nodes.Misses)
 	}
-	return x, y
+	return x, y, nil
 }
 
 // Fig12 reproduces Figure 12: the latency/bandwidth trade-off of SP, ADDR,
 // INST and UNI prediction (unlimited tables) for four illustrative
 // benchmarks. Lower-left is better; the directory sits at (0, 100).
-func Fig12(r *Runner) *stats.Table {
+func Fig12(r *Runner) (*stats.Table, error) {
 	t := stats.NewTable("Figure 12: performance/bandwidth trade-off (unlimited tables)",
 		"benchmark", "predictor", "addlBW/miss %", "misses w/ indirection %", "storage bits/node")
 	for _, name := range []string{"fmm", "ocean", "fluidanimate", "dedup"} {
 		t.AddRowf(name, "Directory", 0.0, 100.0, 0)
 		for _, kind := range []string{"sp", "addr", "inst", "uni"} {
-			x, y := tradeoffPoint(r, name, kind)
-			res := r.Run(name, kind)
+			x, y, err := tradeoffPoint(r, name, kind)
+			if err != nil {
+				return nil, err
+			}
+			res, err := r.Run(name, kind)
+			if err != nil {
+				return nil, err
+			}
 			t.AddRowf(name, res.Predictor, x, y, res.StorageBits/r.Cfg.Threads)
 		}
 	}
 	t.AddNote("paper: SP is comparable to ADDR/INST at a fraction of the storage; UNI is cheapest but least accurate")
-	return t
+	return t, nil
 }
 
 // Fig13 reproduces Figure 13: the same trade-off averaged over all
 // benchmarks, with unlimited vs 512-entry (~4KB) tables. SP and UNI are
 // insensitive: their state already fits.
-func Fig13(r *Runner) *stats.Table {
+func Fig13(r *Runner) (*stats.Table, error) {
 	t := stats.NewTable("Figure 13: trade-off with limited table space (all-benchmark average)",
 		"predictor", "tables", "addlBW/miss %", "misses w/ indirection %")
 	for _, cfg := range []struct{ label, kind, size string }{
@@ -195,7 +264,10 @@ func Fig13(r *Runner) *stats.Table {
 	} {
 		var xs, ys []float64
 		for _, name := range Benchmarks() {
-			x, y := tradeoffPoint(r, name, cfg.kind)
+			x, y, err := tradeoffPoint(r, name, cfg.kind)
+			if err != nil {
+				return nil, err
+			}
 			xs = append(xs, x)
 			ys = append(ys, y)
 		}
@@ -204,5 +276,5 @@ func Fig13(r *Runner) *stats.Table {
 	t.AddRowf("Directory", "-", 0.0, 100.0)
 	t.AddNote("paper: limited space degrades ADDR and INST; SP and UNI are unaffected")
 	t.AddNote("the capacity wall is placed at ~0.5KB (vs the paper's 4KB) because the synthetic working sets are ~8x smaller")
-	return t
+	return t, nil
 }

@@ -6,11 +6,13 @@ import (
 	"spcoh/internal/stats"
 )
 
-// Experiment is one regenerable paper artifact.
+// Experiment is one regenerable paper artifact. Run reports a failure of
+// any underlying simulation as an error (it never panics), so drivers can
+// aggregate failures across experiments instead of crashing.
 type Experiment struct {
 	ID    string // "fig7", "table1", ...
 	Title string
-	Run   func(*Runner) *stats.Table
+	Run   func(*Runner) (*stats.Table, error)
 }
 
 // All returns the experiments in paper order.

@@ -6,6 +6,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"spcoh/internal/arch"
 	"spcoh/internal/charac"
@@ -29,42 +30,92 @@ func Default() Config { return Config{Threads: 16, Scale: 1.0, Seed: 42} }
 // Quick is a reduced configuration for smoke runs and -short benchmarks.
 func Quick() Config { return Config{Threads: 16, Scale: 0.25, Seed: 42} }
 
+// Kinds returns every configuration name understood by Runner.Run, in
+// evaluation order.
+func Kinds() []string {
+	return []string{"dir", "bcast", "sp", "sp+filter", "sp512",
+		"addr", "inst", "uni", "addr-small", "inst-small", "oracle"}
+}
+
+// EvalKinds returns the paper's §5 comparison set (the sweep run by
+// spsweep's default matrix).
+func EvalKinds() []string {
+	return []string{"dir", "bcast", "sp", "sp+filter", "addr", "inst", "uni", "oracle"}
+}
+
 // Runner executes and caches simulation runs; experiments share results.
+// It is safe for concurrent use: every cache key is computed exactly once
+// (single-flight), and concurrent callers of an in-flight key block until
+// the first computation finishes and then share its outcome.
 type Runner struct {
 	Cfg Config
 
-	results  map[string]*sim.Result
-	analyses map[string]*charac.Analysis
-	programs map[string]*workload.Program
-	books    map[string]*core.OracleBook
+	results  cache[*sim.Result]
+	analyses cache[*charac.Analysis]
+	programs cache[*workload.Program]
+	books    cache[*core.OracleBook]
 }
 
 // NewRunner builds an empty cache over cfg.
-func NewRunner(cfg Config) *Runner {
-	return &Runner{
-		Cfg:      cfg,
-		results:  make(map[string]*sim.Result),
-		analyses: make(map[string]*charac.Analysis),
-		programs: make(map[string]*workload.Program),
-		books:    make(map[string]*core.OracleBook),
-	}
+func NewRunner(cfg Config) *Runner { return &Runner{Cfg: cfg} }
+
+// cache is a concurrency-safe, single-flight memoization table. The first
+// caller of a key runs fn while later callers wait on the same flight and
+// share its result, so a simulation is never executed twice. A panic inside
+// fn becomes the key's error: waiters never hang and callers get a
+// diagnosable failure instead of a crashed process.
+type cache[T any] struct {
+	mu sync.Mutex
+	m  map[string]*flight[T]
 }
 
-func (r *Runner) program(bench string) *workload.Program {
-	if p, ok := r.programs[bench]; ok {
-		return p
+type flight[T any] struct {
+	done sync.WaitGroup
+	val  T
+	err  error
+}
+
+func (c *cache[T]) do(key string, fn func() (T, error)) (T, error) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[string]*flight[T])
 	}
-	prof, err := workload.ByName(bench)
-	if err != nil {
-		panic(err)
+	if f, ok := c.m[key]; ok {
+		c.mu.Unlock()
+		f.done.Wait()
+		return f.val, f.err
 	}
-	p := prof.Build(r.Cfg.Threads, r.Cfg.Scale, r.Cfg.Seed)
-	r.programs[bench] = p
-	return p
+	f := new(flight[T])
+	f.done.Add(1)
+	c.m[key] = f
+	c.mu.Unlock()
+	defer f.done.Done()
+	f.val, f.err = protect(key, fn)
+	return f.val, f.err
+}
+
+// protect runs fn, converting a panic into a returned error.
+func protect[T any](key string, fn func() (T, error)) (val T, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("experiments: %s: panic: %v", key, p)
+		}
+	}()
+	return fn()
+}
+
+func (r *Runner) program(bench string) (*workload.Program, error) {
+	return r.programs.do(bench, func() (*workload.Program, error) {
+		prof, err := workload.ByName(bench)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		return prof.Build(r.Cfg.Threads, r.Cfg.Scale, r.Cfg.Seed), nil
+	})
 }
 
 // predictorsFor builds the per-node predictor set for a configuration name.
-func (r *Runner) predictorsFor(bench, kind string) []predictor.Predictor {
+func (r *Runner) predictorsFor(bench, kind string) ([]predictor.Predictor, error) {
 	n := r.Cfg.Threads
 	mk := func(f func(arch.NodeID) predictor.Predictor) []predictor.Predictor {
 		preds := make([]predictor.Predictor, n)
@@ -75,9 +126,9 @@ func (r *Runner) predictorsFor(bench, kind string) []predictor.Predictor {
 	}
 	switch kind {
 	case "dir", "bcast":
-		return nil
+		return nil, nil
 	case "sp":
-		return core.NewSystem(core.DefaultConfig(n))
+		return core.NewSystem(core.DefaultConfig(n)), nil
 	case "sp+filter":
 		// §5.3 extension: a region snoop filter suppressing prediction
 		// attempts on private data.
@@ -85,17 +136,17 @@ func (r *Runner) predictorsFor(bench, kind string) []predictor.Predictor {
 		for i := range preds {
 			preds[i] = predictor.NewRegionFilter(preds[i])
 		}
-		return preds
+		return preds, nil
 	case "sp512":
 		cfg := core.DefaultConfig(n)
 		cfg.MaxEntries = 512
-		return core.NewSystem(cfg)
+		return core.NewSystem(cfg), nil
 	case "addr":
-		return mk(func(id arch.NodeID) predictor.Predictor { return predictor.NewAddr(id, n) })
+		return mk(func(id arch.NodeID) predictor.Predictor { return predictor.NewAddr(id, n) }), nil
 	case "inst":
-		return mk(func(id arch.NodeID) predictor.Predictor { return predictor.NewInst(id, n) })
+		return mk(func(id arch.NodeID) predictor.Predictor { return predictor.NewInst(id, n) }), nil
 	case "uni":
-		return mk(func(id arch.NodeID) predictor.Predictor { return predictor.NewUni(id, n) })
+		return mk(func(id arch.NodeID) predictor.Predictor { return predictor.NewUni(id, n) }), nil
 	case "addr-small":
 		// ~0.5KB per node: the capacity wall sits ~8x lower than the
 		// paper's 4KB because the synthetic working sets are ~8x smaller.
@@ -103,71 +154,94 @@ func (r *Runner) predictorsFor(bench, kind string) []predictor.Predictor {
 			cfg := predictor.DefaultAddrConfig(n)
 			cfg.Entries = 64
 			return predictor.NewGroup("ADDR-small", id, cfg)
-		})
+		}), nil
 	case "inst-small":
 		return mk(func(id arch.NodeID) predictor.Predictor {
 			cfg := predictor.DefaultInstConfig(n)
 			cfg.Entries = 64
 			return predictor.NewGroup("INST-small", id, cfg)
-		})
+		}), nil
 	case "oracle":
-		return core.OracleSystem(n, r.book(bench))
+		b, err := r.book(bench)
+		if err != nil {
+			return nil, err
+		}
+		return core.OracleSystem(n, b), nil
 	default:
-		panic(fmt.Sprintf("experiments: unknown configuration %q", kind))
+		return nil, fmt.Errorf("experiments: unknown configuration %q", kind)
 	}
 }
 
 // book runs (once) the oracle-recording profiling pass for a benchmark.
-func (r *Runner) book(bench string) *core.OracleBook {
-	if b, ok := r.books[bench]; ok {
-		return b
-	}
-	b := core.NewOracleBook()
-	opt := sim.DefaultOptions()
-	opt.Predictors = core.RecorderSystem(core.DefaultConfig(r.Cfg.Threads), b)
-	if _, err := sim.Run(r.program(bench), opt); err != nil {
-		panic(err)
-	}
-	r.books[bench] = b
-	return b
+func (r *Runner) book(bench string) (*core.OracleBook, error) {
+	return r.books.do(bench, func() (*core.OracleBook, error) {
+		prog, err := r.program(bench)
+		if err != nil {
+			return nil, err
+		}
+		b := core.NewOracleBook()
+		opt := sim.DefaultOptions()
+		opt.Predictors = core.RecorderSystem(core.DefaultConfig(r.Cfg.Threads), b)
+		if _, err := sim.Run(prog, opt); err != nil {
+			return nil, fmt.Errorf("experiments: oracle profiling %s: %w", bench, err)
+		}
+		return b, nil
+	})
 }
 
 // Run executes (or recalls) one benchmark under one configuration.
-func (r *Runner) Run(bench, kind string) *sim.Result {
+func (r *Runner) Run(bench, kind string) (*sim.Result, error) {
 	key := bench + "/" + kind
-	if res, ok := r.results[key]; ok {
-		return res
-	}
-	opt := sim.DefaultOptions()
-	if kind == "bcast" {
-		opt.Protocol = sim.Broadcast
-	} else {
-		opt.Predictors = r.predictorsFor(bench, kind)
-	}
-	res, err := sim.Run(r.program(bench), opt)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: %s: %v", key, err))
-	}
-	r.results[key] = res
-	return res
+	return r.results.do(key, func() (*sim.Result, error) {
+		prog, err := r.program(bench)
+		if err != nil {
+			return nil, err
+		}
+		opt := sim.DefaultOptions()
+		if kind == "bcast" {
+			opt.Protocol = sim.Broadcast
+		} else {
+			opt.Predictors, err = r.predictorsFor(bench, kind)
+			if err != nil {
+				return nil, err
+			}
+		}
+		res, err := sim.Run(prog, opt)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", key, err)
+		}
+		return res, nil
+	})
 }
 
 // Analysis executes (or recalls) the trace-collection run for a benchmark
 // and digests it (the paper's §3.2 methodology: a baseline-directory run
 // with trace capture).
-func (r *Runner) Analysis(bench string) *charac.Analysis {
-	if a, ok := r.analyses[bench]; ok {
-		return a
-	}
-	col := &trace.Collector{}
-	opt := sim.DefaultOptions()
-	opt.Tracer = col
-	if _, err := sim.Run(r.program(bench), opt); err != nil {
-		panic(fmt.Sprintf("experiments: trace %s: %v", bench, err))
-	}
-	a := charac.Analyze(col.Events, r.Cfg.Threads)
-	r.analyses[bench] = a
-	return a
+func (r *Runner) Analysis(bench string) (*charac.Analysis, error) {
+	return r.analyses.do(bench, func() (*charac.Analysis, error) {
+		prog, err := r.program(bench)
+		if err != nil {
+			return nil, err
+		}
+		col := &trace.Collector{}
+		opt := sim.DefaultOptions()
+		opt.Tracer = col
+		if _, err := sim.Run(prog, opt); err != nil {
+			return nil, fmt.Errorf("experiments: trace %s: %w", bench, err)
+		}
+		return charac.Analyze(col.Events, r.Cfg.Threads), nil
+	})
+}
+
+// RunCell executes one (bench, kind) simulation cell standalone: it builds
+// the program, the predictor set (including the oracle profiling pass when
+// kind is "oracle") and runs the simulation, sharing no state with any
+// other cell. It is the executor behind internal/sweep jobs: because each
+// cell is self-contained, cells parallelize trivially, and determinism of
+// the simulator guarantees a cell's result depends only on (cfg, bench,
+// kind).
+func RunCell(cfg Config, bench, kind string) (*sim.Result, error) {
+	return NewRunner(cfg).Run(bench, kind)
 }
 
 // Benchmarks returns the benchmark list in paper order.

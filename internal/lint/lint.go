@@ -95,6 +95,34 @@ func (p *Pass) Suppressed(pos token.Pos) bool {
 // TypeOf returns the type of e, or nil.
 func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
 
+// DefaultIsSim returns the production classification of simulation
+// packages for a module: everything under internal/ is DES-driven code
+// that must replay bit-identically, except
+//
+//   - internal/lint — the analyzer itself, and
+//   - internal/sweep — the host-side sweep orchestrator, which runs
+//     *above* the DES: it schedules whole simulations onto OS threads and
+//     is explicitly concurrent. Every job it runs is still a
+//     single-threaded simulation, and its merge order stays deterministic
+//     via the always-on maprange/floatorder checks plus the package's
+//     determinism tests.
+//
+// CLIs and examples may read the host clock for progress reporting, but
+// still get maprange/floatorder scrutiny.
+func DefaultIsSim(modPath string) func(importPath string) bool {
+	return func(path string) bool {
+		if !strings.HasPrefix(path, modPath+"/internal/") {
+			return false
+		}
+		for _, exempt := range []string{"/internal/lint", "/internal/sweep"} {
+			if strings.HasPrefix(path, modPath+exempt) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
 // Analyzer runs the registered checks over a module's packages.
 type Analyzer struct {
 	ModRoot string

@@ -165,6 +165,26 @@ func TestRegistry(t *testing.T) {
 	}
 }
 
+// TestDefaultIsSim pins the production package classification: DES-driven
+// packages are sim (SimOnly checks apply); the analyzer and the host-side
+// sweep orchestrator are not.
+func TestDefaultIsSim(t *testing.T) {
+	isSim := DefaultIsSim("spcoh")
+	for path, want := range map[string]bool{
+		"spcoh/internal/sim":         true,
+		"spcoh/internal/protocol":    true,
+		"spcoh/internal/experiments": true,
+		"spcoh/internal/lint":        false,
+		"spcoh/internal/sweep":       false,
+		"spcoh/cmd/spsweep":          false,
+		"spcoh":                      false,
+	} {
+		if got := isSim(path); got != want {
+			t.Errorf("DefaultIsSim(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
 // TestRepoIsClean runs the production configuration over the repository
 // itself: the tree must stay spvet-clean.
 func TestRepoIsClean(t *testing.T) {
@@ -175,10 +195,7 @@ func TestRepoIsClean(t *testing.T) {
 	a := &Analyzer{
 		ModRoot: root,
 		ModPath: modPath,
-		IsSim: func(path string) bool {
-			return strings.HasPrefix(path, modPath+"/internal/") &&
-				!strings.HasPrefix(path, modPath+"/internal/lint")
-		},
+		IsSim:   DefaultIsSim(modPath),
 	}
 	findings, err := a.Run("./...")
 	if err != nil {

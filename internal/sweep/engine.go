@@ -1,0 +1,182 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"spcoh/internal/sim"
+)
+
+// RunFunc executes one job and returns its measurements. The engine calls
+// it from multiple goroutines; implementations must not share mutable
+// state across calls (experiments.RunCell, the production executor, shares
+// none by construction).
+type RunFunc func(Job) (*sim.Result, error)
+
+// Options configures the engine.
+type Options struct {
+	// Workers bounds the pool; <= 0 means runtime.NumCPU().
+	Workers int
+	// Timeout bounds one attempt's wall-clock time; 0 means no bound.
+	// A timed-out attempt's goroutine runs on to completion in the
+	// background (a simulation is not preemptible) — the in-band bound is
+	// sim.Options.MaxCycles inside the RunFunc; Timeout is the backstop.
+	Timeout time.Duration
+	// Retries is the number of additional attempts after a failed first
+	// one. Simulation failures are deterministic, so retries mainly cover
+	// environmental failures (artifact-store I/O, memory pressure).
+	Retries int
+	// Store, when set, checkpoints completed jobs and recalls cells
+	// finished by an earlier, interrupted sweep.
+	Store *Store
+	// Progress, when set, observes every finished job. Calls are
+	// serialized but arrive in completion order — display only; nothing
+	// deterministic may be derived from it.
+	Progress func(JobResult)
+}
+
+// JobResult is one job's outcome.
+type JobResult struct {
+	Job      Job
+	Result   *sim.Result
+	Err      error
+	Cached   bool          // recalled from the store, not executed
+	Attempts int           // executions this run (0 when cached/canceled)
+	Wall     time.Duration // scheduling + execution wall time this run
+}
+
+// Report is a sweep's merged outcome. Jobs is sorted by Job.Key — never
+// by completion order — so every rendering of a Report is deterministic.
+type Report struct {
+	Jobs     []JobResult
+	Executed int // computed this run
+	Cached   int // recalled from the store
+	Failed   int // Err != nil after all attempts
+	Wall     time.Duration
+}
+
+// Run executes jobs on a bounded worker pool and returns the merged
+// report. It never fails as a whole: per-job failures (including panics
+// inside the RunFunc, converted to errors) are carried in the report, and
+// ctx cancellation marks the not-yet-started jobs with ctx's error. The
+// report's job order is the sorted key order regardless of worker count.
+func Run(ctx context.Context, jobs []Job, run RunFunc, opt Options) *Report {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	sorted := append([]Job(nil), jobs...)
+	sort.Slice(sorted, func(i, k int) bool { return sorted[i].Key() < sorted[k].Key() })
+
+	start := time.Now()
+	results := make([]JobResult, len(sorted))
+	idx := make(chan int)
+	var progMu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = runJob(ctx, sorted[i], run, opt)
+				if opt.Progress != nil {
+					progMu.Lock()
+					opt.Progress(results[i])
+					progMu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range sorted {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	rep := &Report{Jobs: results, Wall: time.Since(start)}
+	for _, jr := range rep.Jobs {
+		switch {
+		case jr.Err != nil:
+			rep.Failed++
+		case jr.Cached:
+			rep.Cached++
+		default:
+			rep.Executed++
+		}
+	}
+	return rep
+}
+
+// runJob resolves one job: store recall, then up to 1+Retries attempts.
+func runJob(ctx context.Context, j Job, run RunFunc, opt Options) JobResult {
+	jr := JobResult{Job: j}
+	start := time.Now()
+	defer func() { jr.Wall = time.Since(start) }()
+
+	if opt.Store != nil {
+		if res, ok := opt.Store.Lookup(j); ok {
+			jr.Result = res
+			jr.Cached = true
+			return jr
+		}
+	}
+	var lastErr error
+	for attempt := 0; attempt <= opt.Retries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			lastErr = err
+			break
+		}
+		jr.Attempts++
+		res, err := runAttempt(ctx, j, run, opt.Timeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		jr.Result = res
+		if opt.Store != nil {
+			if perr := opt.Store.Put(j, res); perr != nil {
+				jr.Err = perr
+			}
+		}
+		return jr
+	}
+	jr.Err = fmt.Errorf("sweep: %s: %w", j.Key(), lastErr)
+	return jr
+}
+
+// runAttempt runs one attempt with panic recovery and an optional
+// wall-clock timeout.
+func runAttempt(ctx context.Context, j Job, run RunFunc, timeout time.Duration) (*sim.Result, error) {
+	type outcome struct {
+		res *sim.Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				ch <- outcome{err: fmt.Errorf("panic: %v", p)}
+			}
+		}()
+		res, err := run(j)
+		ch <- outcome{res: res, err: err}
+	}()
+	var expired <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		expired = t.C
+	}
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-expired:
+		return nil, fmt.Errorf("timed out after %s", timeout)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}

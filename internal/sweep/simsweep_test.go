@@ -1,0 +1,76 @@
+package sweep_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"spcoh/internal/experiments"
+	"spcoh/internal/sim"
+	"spcoh/internal/sweep"
+)
+
+// realCell is the same executor spsweep uses in production.
+func realCell(j sweep.Job) (*sim.Result, error) {
+	return experiments.RunCell(experiments.Config{
+		Threads: j.Threads,
+		Scale:   j.Scale,
+		Seed:    j.Seed,
+	}, j.Bench, j.Kind)
+}
+
+// TestRealSimParallelDeterminism runs actual simulations on a small matrix
+// and checks the parallel merged output is byte-identical to -jobs 1 —
+// the sweep engine's core acceptance criterion, end to end.
+func TestRealSimParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations; skipped with -short")
+	}
+	m := sweep.Matrix{
+		Benches: []string{"streamcluster", "x264"},
+		Kinds:   []string{"dir", "sp"},
+		Seeds:   []int64{42},
+		Scales:  []float64{0.05},
+		Threads: 16,
+	}
+	jobs := m.Jobs()
+	render := func(workers int, store *sweep.Store) (string, *sweep.Report) {
+		rep := sweep.Run(context.Background(), jobs, realCell, sweep.Options{Workers: workers, Store: store})
+		if rep.Failed != 0 {
+			for _, jr := range rep.Jobs {
+				if jr.Err != nil {
+					t.Errorf("%s: %v", jr.Job.Key(), jr.Err)
+				}
+			}
+			t.Fatalf("%d job(s) failed", rep.Failed)
+		}
+		var buf bytes.Buffer
+		if err := rep.FormatJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String(), rep
+	}
+	serial, _ := render(1, nil)
+	par, _ := render(4, nil)
+	if serial != par {
+		t.Fatal("4-worker merged output differs from 1-worker output")
+	}
+
+	// End-to-end store pass: a run that checkpoints, then a resume that
+	// recalls everything, still renders the identical bytes.
+	store, err := sweep.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, rep1 := render(2, store)
+	if rep1.Executed != len(jobs) || rep1.Cached != 0 {
+		t.Fatalf("first store pass: executed=%d cached=%d", rep1.Executed, rep1.Cached)
+	}
+	second, rep2 := render(3, store)
+	if rep2.Executed != 0 || rep2.Cached != len(jobs) {
+		t.Fatalf("resume pass recomputed: executed=%d cached=%d", rep2.Executed, rep2.Cached)
+	}
+	if first != serial || second != serial {
+		t.Fatal("store-backed output differs from direct output")
+	}
+}

@@ -1,0 +1,111 @@
+// Package sweep is the parallel sweep orchestration engine: it expands a
+// job matrix (benchmark × configuration × seed × scale) into independent
+// simulation jobs, executes them on a bounded worker pool, and merges the
+// results deterministically.
+//
+// The package sits *above* the discrete-event simulator: every job it
+// schedules is one complete, single-threaded, deterministic simulation
+// (see internal/sim), so running jobs concurrently cannot perturb any
+// result — a sweep on N workers is byte-identical to the same sweep on
+// one worker. Three rules keep that guarantee:
+//
+//   - jobs are identified and ordered by Job.Key, never by completion
+//     order: workers write into per-job slots and the merged report is
+//     always in key order;
+//   - rendered output (FormatTable/FormatCSV/FormatJSON) carries no wall
+//     times, attempt counts or cache provenance — those live in the
+//     side-band Summary, which is allowed to differ between runs;
+//   - artifacts are addressed by the digest of the job's canonical spec,
+//     so a resumed sweep recalls exactly the cells it already computed.
+//
+// The orchestrator is exempt from spvet's SimOnly goroutine/wallclock
+// checks (see lint.DefaultIsSim) but remains subject to maprange and
+// floatorder; map iteration here goes through detutil.SortedKeys.
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"sort"
+	"strconv"
+)
+
+// Job is one independent cell of a sweep matrix: a single simulation of
+// one benchmark under one predictor/protocol configuration at a given
+// thread count, workload scale and seed.
+type Job struct {
+	Bench   string  `json:"bench"`
+	Kind    string  `json:"kind"`
+	Threads int     `json:"threads"`
+	Scale   float64 `json:"scale"`
+	Seed    int64   `json:"seed"`
+}
+
+// Key returns the canonical sortable identity of the job, e.g.
+// "ocean/sp/t16/x0.25/s42". Reports and merged outputs are ordered by
+// this key.
+func (j Job) Key() string {
+	return j.Bench + "/" + j.Kind +
+		"/t" + strconv.Itoa(j.Threads) +
+		"/x" + strconv.FormatFloat(j.Scale, 'g', -1, 64) +
+		"/s" + strconv.FormatInt(j.Seed, 10)
+}
+
+// Digest returns the job's content address: the SHA-256 of its canonical
+// JSON spec. Artifacts are stored under this digest, so changing any field
+// of the spec relocates the artifact and forces recomputation; two sweeps
+// sharing a cell share its artifact.
+func (j Job) Digest() string {
+	b, err := json.Marshal(j)
+	if err != nil {
+		// A struct of scalars cannot fail to marshal.
+		panic("sweep: job digest: " + err.Error())
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// Matrix spans a sweep: the cross product of its dimensions.
+type Matrix struct {
+	Benches []string  `json:"benches"`
+	Kinds   []string  `json:"kinds"`
+	Seeds   []int64   `json:"seeds"`
+	Scales  []float64 `json:"scales"`
+	Threads int       `json:"threads"`
+}
+
+// Jobs expands the cross product into jobs sorted by Key. Cells whose
+// dimensions collide on the same key (duplicate dimension values) are
+// collapsed.
+func (m Matrix) Jobs() []Job {
+	seen := make(map[string]bool)
+	var jobs []Job
+	for _, b := range m.Benches {
+		for _, k := range m.Kinds {
+			for _, sc := range m.Scales {
+				for _, sd := range m.Seeds {
+					j := Job{Bench: b, Kind: k, Threads: m.Threads, Scale: sc, Seed: sd}
+					if key := j.Key(); !seen[key] {
+						seen[key] = true
+						jobs = append(jobs, j)
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].Key() < jobs[k].Key() })
+	return jobs
+}
+
+// Digest identifies the whole matrix: the SHA-256 over the sorted job
+// digests. Two matrices expanding to the same cells are the same sweep,
+// however their dimension lists were spelled.
+func (m Matrix) Digest() string {
+	h := sha256.New()
+	for _, j := range m.Jobs() {
+		h.Write([]byte(j.Digest()))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

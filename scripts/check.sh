@@ -12,6 +12,9 @@
 #   go test -race race detector on the packages exercising concurrency-safe
 #                 surfaces (the simulator itself is single-threaded by
 #                 design; spvet's goroutine check enforces that statically)
+#   spsweep smoke quick-scale sweep end to end: run, resume (must recall
+#                 every cell from the store), byte-compare the merged
+#                 outputs, status must report all cells complete
 #
 # Any gate failing exits non-zero.
 set -eu
@@ -40,5 +43,31 @@ go test ./...
 echo "== go test -race"
 go test -race ./internal/event ./internal/lint ./internal/sim \
     ./internal/stats ./internal/trace ./internal/workload
+go test -race -short ./internal/experiments ./internal/sweep
+
+echo "== spsweep smoke (run / resume / status)"
+sweepdir=$(mktemp -d)
+trap 'rm -rf "$sweepdir"' EXIT
+go build -o "$sweepdir/spsweep" ./cmd/spsweep
+"$sweepdir/spsweep" run -bench x264,streamcluster -kinds dir,sp \
+    -scales 0.05 -jobs 2 -dir "$sweepdir/store" \
+    -summary "$sweepdir/summary.json" -format json \
+    > "$sweepdir/run1.json" 2> "$sweepdir/run1.log"
+"$sweepdir/spsweep" resume -jobs 4 -dir "$sweepdir/store" \
+    -summary "" -format json \
+    > "$sweepdir/run2.json" 2> "$sweepdir/run2.log"
+cmp "$sweepdir/run1.json" "$sweepdir/run2.json" || {
+    echo "spsweep: resumed output differs from first run" >&2
+    exit 1
+}
+grep -q "4 cached, 0 executed, 0 failed" "$sweepdir/run2.log" || {
+    echo "spsweep: resume re-executed completed jobs:" >&2
+    cat "$sweepdir/run2.log" >&2
+    exit 1
+}
+"$sweepdir/spsweep" status -dir "$sweepdir/store" | grep -q "4/4 complete, 0 pending" || {
+    echo "spsweep: status does not report a complete store" >&2
+    exit 1
+}
 
 echo "check.sh: all gates passed"

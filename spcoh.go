@@ -265,5 +265,9 @@ func RunExperiment(id string, scale float64) (string, error) {
 	if scale > 0 {
 		cfg.Scale = scale
 	}
-	return e.Run(experiments.NewRunner(cfg)).String(), nil
+	tab, err := e.Run(experiments.NewRunner(cfg))
+	if err != nil {
+		return "", err
+	}
+	return tab.String(), nil
 }
