@@ -5,6 +5,12 @@
 //
 //	spsim -bench ocean -pred sp [-scale 0.2] [-seed 42] [-protocol dir|bcast]
 //	spsim -all -pred sp
+//	spsim -bench ocean -pred sp -metrics-epoch 10000 -metrics-out series.json
+//
+// With -metrics-epoch N the run attaches the run-time metrics collector
+// (internal/metrics) sampling every N cycles and writes the deterministic
+// JSON time-series to -metrics-out (render it with spstat). Incompatible
+// with -all: one series file describes one run.
 package main
 
 import (
@@ -14,11 +20,27 @@ import (
 
 	"spcoh/internal/arch"
 	"spcoh/internal/core"
+	"spcoh/internal/event"
+	"spcoh/internal/metrics"
 	"spcoh/internal/predictor"
 	"spcoh/internal/sim"
 	"spcoh/internal/stats"
 	"spcoh/internal/workload"
 )
+
+// writeSeries atomically-ish writes the series (truncate-then-write is fine
+// for a CLI output file).
+func writeSeries(path string, s *metrics.Series) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 func buildPredictors(kind string, nodes int) ([]predictor.Predictor, error) {
 	switch kind {
@@ -57,7 +79,18 @@ func main() {
 	proto := flag.String("protocol", "dir", "protocol: dir|bcast")
 	scale := flag.Float64("scale", 0.2, "workload scale factor")
 	seed := flag.Int64("seed", 42, "workload build seed")
+	metricsEpoch := flag.Uint64("metrics-epoch", 0, "metrics sampling epoch in cycles (0 = no metrics)")
+	metricsOut := flag.String("metrics-out", "", "write the metrics time-series JSON here (requires -metrics-epoch)")
 	flag.Parse()
+
+	if *metricsOut != "" && *metricsEpoch == 0 {
+		fmt.Fprintln(os.Stderr, "spsim: -metrics-out requires -metrics-epoch")
+		os.Exit(2)
+	}
+	if *metricsEpoch > 0 && *all {
+		fmt.Fprintln(os.Stderr, "spsim: -metrics-epoch is incompatible with -all (one series per run)")
+		os.Exit(2)
+	}
 
 	names := []string{*bench}
 	if *all {
@@ -96,10 +129,19 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		opt.MetricsEpoch = event.Time(*metricsEpoch)
 		res, err := sim.Run(prog, opt)
 		if err != nil {
 			fail(name, err)
 			continue
+		}
+		if res.Metrics != nil && *metricsOut != "" {
+			if err := writeSeries(*metricsOut, res.Metrics); err != nil {
+				fmt.Fprintln(os.Stderr, "spsim:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "spsim: metrics series (%d epochs) written to %s\n",
+				len(res.Metrics.Epochs), *metricsOut)
 		}
 		row(tb, name, res)
 	}

@@ -81,16 +81,18 @@ type matrixFlags struct {
 	bench, kinds, seeds, scales *string
 	threads                     *int
 	quick                       *bool
+	metricsEpoch                *uint64
 }
 
 func addMatrixFlags(fs *flag.FlagSet) *matrixFlags {
 	return &matrixFlags{
-		bench:   fs.String("bench", "all", `benchmarks: "all" or comma-separated names`),
-		kinds:   fs.String("kinds", "eval", `configurations: "eval" (paper §5 set), "all", or comma-separated`),
-		seeds:   fs.String("seeds", "42", "comma-separated workload build seeds"),
-		scales:  fs.String("scales", "1.0", "comma-separated workload scale factors"),
-		threads: fs.Int("threads", 16, "threads per workload (must match the machine's node count)"),
-		quick:   fs.Bool("quick", false, "shorthand for -scales 0.25"),
+		bench:        fs.String("bench", "all", `benchmarks: "all" or comma-separated names`),
+		kinds:        fs.String("kinds", "eval", `configurations: "eval" (paper §5 set), "all", or comma-separated`),
+		seeds:        fs.String("seeds", "42", "comma-separated workload build seeds"),
+		scales:       fs.String("scales", "1.0", "comma-separated workload scale factors"),
+		threads:      fs.Int("threads", 16, "threads per workload (must match the machine's node count)"),
+		quick:        fs.Bool("quick", false, "shorthand for -scales 0.25"),
+		metricsEpoch: fs.Uint64("metrics-epoch", 0, "metrics sampling epoch in cycles for every cell (0 = no metrics)"),
 	}
 }
 
@@ -144,11 +146,12 @@ func (m *matrixFlags) matrix() (sweep.Matrix, error) {
 		scaleVals = append(scaleVals, v)
 	}
 	return sweep.Matrix{
-		Benches: benches,
-		Kinds:   kinds,
-		Seeds:   seeds,
-		Scales:  scaleVals,
-		Threads: *m.threads,
+		Benches:      benches,
+		Kinds:        kinds,
+		Seeds:        seeds,
+		Scales:       scaleVals,
+		Threads:      *m.threads,
+		MetricsEpoch: *m.metricsEpoch,
 	}, nil
 }
 
@@ -166,9 +169,10 @@ func splitList(s string) []string {
 // job (experiments.RunCell shares no state between cells).
 func runCell(j sweep.Job) (*sim.Result, error) {
 	return experiments.RunCell(experiments.Config{
-		Threads: j.Threads,
-		Scale:   j.Scale,
-		Seed:    j.Seed,
+		Threads:      j.Threads,
+		Scale:        j.Scale,
+		Seed:         j.Seed,
+		MetricsEpoch: j.MetricsEpoch,
 	}, j.Bench, j.Kind)
 }
 

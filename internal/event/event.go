@@ -44,7 +44,16 @@ type Sim struct {
 	events eventHeap
 	// Fired counts executed events; useful for budget checks and debugging.
 	Fired uint64
+	// obs, when set, observes every fired event (metrics layer). Nil — the
+	// default — costs one branch per event.
+	obs func(now Time, queueDepth int)
 }
+
+// SetObserver attaches (or, with nil, detaches) a per-event observer for
+// the run-time metrics layer: it fires on every Step after the clock
+// advances and before the event's callback runs, receiving the current
+// time and the remaining queue depth.
+func (s *Sim) SetObserver(fn func(now Time, queueDepth int)) { s.obs = fn }
 
 // New returns an empty simulator at time 0.
 func New() *Sim {
@@ -73,6 +82,15 @@ func (s *Sim) After(d Time, fn Func) { s.At(s.now+d, fn) }
 // Pending returns the number of scheduled-but-unfired events.
 func (s *Sim) Pending() int { return len(s.events) }
 
+// NextTime returns the timestamp of the earliest pending event, and false
+// when the queue is empty.
+func (s *Sim) NextTime() (Time, bool) {
+	if len(s.events) == 0 {
+		return 0, false
+	}
+	return s.events.peek().when, true
+}
+
 // Step fires the next event, advancing the clock to its timestamp. It
 // reports false if no events remain.
 func (s *Sim) Step() bool {
@@ -82,6 +100,9 @@ func (s *Sim) Step() bool {
 	it := heap.Pop(&s.events).(item)
 	s.now = it.when
 	s.Fired++
+	if s.obs != nil {
+		s.obs(s.now, len(s.events))
+	}
 	it.fn()
 	return true
 }
@@ -93,10 +114,28 @@ func (s *Sim) Run() {
 }
 
 // RunUntil fires events with timestamps <= limit, leaving later events
-// queued. The clock ends at min(limit, time of last fired event).
+// queued, and advances the clock to limit. Ending at limit — not at the
+// last fired event — is load-bearing for epoch-boundary sampling: a cycle
+// window with no events still ends exactly at its boundary, so repeated
+// RunUntil calls never drift.
 func (s *Sim) RunUntil(limit Time) {
 	for len(s.events) > 0 && s.events.peek().when <= limit {
 		s.Step()
+	}
+	s.AdvanceTo(limit)
+}
+
+// AdvanceTo moves the clock forward to t without firing any events.
+// Moving backwards is a no-op (monotonicity). It is a programming error to
+// advance past a pending event's timestamp; doing so would fire that event
+// late (At clamps past schedules to the current time), so AdvanceTo stops
+// at the earliest pending event instead.
+func (s *Sim) AdvanceTo(t Time) {
+	if len(s.events) > 0 && s.events.peek().when < t {
+		t = s.events.peek().when
+	}
+	if t > s.now {
+		s.now = t
 	}
 }
 

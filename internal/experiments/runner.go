@@ -11,6 +11,7 @@ import (
 	"spcoh/internal/arch"
 	"spcoh/internal/charac"
 	"spcoh/internal/core"
+	"spcoh/internal/event"
 	"spcoh/internal/predictor"
 	"spcoh/internal/sim"
 	"spcoh/internal/trace"
@@ -22,6 +23,12 @@ type Config struct {
 	Threads int
 	Scale   float64
 	Seed    int64
+
+	// MetricsEpoch, when non-zero, enables the run-time metrics collector
+	// on every measurement run with this sampling epoch (cycles); each
+	// sim.Result then carries a phase-resolved time-series in .Metrics.
+	// Auxiliary passes (oracle profiling, trace capture) never collect.
+	MetricsEpoch uint64
 }
 
 // Default is the full-size configuration used for EXPERIMENTS.md.
@@ -198,6 +205,7 @@ func (r *Runner) Run(bench, kind string) (*sim.Result, error) {
 			return nil, err
 		}
 		opt := sim.DefaultOptions()
+		opt.MetricsEpoch = event.Time(r.Cfg.MetricsEpoch)
 		if kind == "bcast" {
 			opt.Protocol = sim.Broadcast
 		} else {

@@ -37,21 +37,48 @@ func DefaultConfig() Config {
 func (c Config) Nodes() int { return c.Width * c.Height }
 
 // Stats aggregates network activity for bandwidth and energy accounting.
+//
+// Injections and deliveries are distinct quantities: Send and Broadcast
+// each count one injection (Packets) however many endpoints receive the
+// packet, while Deliveries counts endpoint arrivals. A Broadcast to k
+// destinations is therefore 1 injection / k deliveries (the in-network
+// tree replicates), whereas Multicast to the same k is k injections / k
+// deliveries (source-side replication, one Send per destination). TotalLat
+// accumulates per-*delivery* latency, so mean latency must divide by
+// Deliveries — dividing by Packets inflates broadcast latency by up to k.
 type Stats struct {
-	Packets     uint64 // packets injected
+	Packets     uint64 // packets injected (one per Send, one per Broadcast)
+	Deliveries  uint64 // endpoint arrivals (k per Broadcast to k destinations)
 	Bytes       uint64 // payload+header bytes injected (per-packet, not per-hop)
 	FlitHops    uint64 // flits × links traversed (energy ∝ this)
 	RouterHops  uint64 // packet × routers traversed
-	TotalLat    uint64 // accumulated packet latencies (cycles)
+	TotalLat    uint64 // accumulated per-delivery latencies (cycles)
 	StallCycles uint64 // cycles packets spent waiting on busy links
 }
 
-// AvgLatency returns the mean packet latency.
+// AvgLatency returns the mean per-delivery latency: TotalLat accumulates
+// once per endpoint arrival, so the divisor is Deliveries, not Packets
+// (they differ exactly for Broadcast; see the Stats comment).
 func (s *Stats) AvgLatency() float64 {
-	if s.Packets == 0 {
+	if s.Deliveries == 0 {
 		return 0
 	}
-	return float64(s.TotalLat) / float64(s.Packets)
+	return float64(s.TotalLat) / float64(s.Deliveries)
+}
+
+// Observer carries the NoC hooks of the run-time metrics layer
+// (internal/metrics). All hooks fire synchronously inside the
+// simulation; a nil observer (the default) costs one predictable branch
+// per packet.
+type Observer interface {
+	// LinkBusy reports that directed link l is occupied for [from, to).
+	LinkBusy(l int, from, to event.Time)
+	// LinkStall reports a packet stalling for the given cycles waiting on
+	// busy link l.
+	LinkStall(l int, cycles event.Time)
+	// Deliver fires at each endpoint delivery with the delivery latency.
+	// The simulator clock reads the arrival cycle.
+	Deliver(lat event.Time)
 }
 
 // Network is a mesh instance bound to a simulator clock.
@@ -61,6 +88,7 @@ type Network struct {
 	// busyUntil[l] is the cycle at which directed link l becomes free.
 	busyUntil []event.Time
 	stats     Stats
+	obs       Observer
 }
 
 // New builds a network over the given simulator.
@@ -80,6 +108,13 @@ func (n *Network) Config() Config { return n.cfg }
 
 // Stats returns a snapshot of accumulated statistics.
 func (n *Network) Stats() Stats { return n.stats }
+
+// SetObserver attaches (or, with nil, detaches) the metrics hooks.
+func (n *Network) SetObserver(o Observer) { n.obs = o }
+
+// NumLinks returns the number of directed links the mesh addresses
+// (4 per node; edge links exist but carry no traffic).
+func (n *Network) NumLinks() int { return len(n.busyUntil) }
 
 // XY returns the mesh coordinates of a node.
 func (n *Network) XY(id arch.NodeID) (x, y int) {
@@ -152,6 +187,38 @@ func (n *Network) Flits(payloadBytes int) int {
 	return f
 }
 
+// occupyLink claims directed link l for a packet whose head flit reaches it
+// at head, serializing for ser cycles, accounting stall and occupancy, and
+// returns the head-flit time after the link's wire and the next router.
+func (n *Network) occupyLink(l int, head, ser event.Time) event.Time {
+	if n.busyUntil[l] > head {
+		stall := n.busyUntil[l] - head
+		n.stats.StallCycles += uint64(stall)
+		if n.obs != nil {
+			n.obs.LinkStall(l, stall)
+		}
+		head = n.busyUntil[l]
+	}
+	n.busyUntil[l] = head + ser
+	if n.obs != nil {
+		n.obs.LinkBusy(l, head, head+ser)
+	}
+	return head + n.cfg.LinkDelay + n.cfg.RouterDelay // head flit: wire + next router
+}
+
+// deliverAt accounts one endpoint delivery of latency lat and schedules
+// deliver at the arrival cycle.
+func (n *Network) deliverAt(arrival, lat event.Time, deliver func()) {
+	n.stats.Deliveries++
+	n.stats.TotalLat += uint64(lat)
+	if n.obs != nil {
+		obs := n.obs
+		n.sim.At(arrival, func() { obs.Deliver(lat); deliver() })
+		return
+	}
+	n.sim.At(arrival, deliver)
+}
+
 // Send injects a packet of payloadBytes from src to dst and schedules
 // deliver at the arrival time. Local delivery (src == dst) costs a fixed
 // router traversal. Send accounts all bandwidth/energy statistics.
@@ -163,8 +230,7 @@ func (n *Network) Send(src, dst arch.NodeID, payloadBytes int, deliver func()) {
 	n.stats.Bytes += bytes
 
 	if src == dst {
-		n.stats.TotalLat += uint64(n.cfg.RouterDelay)
-		n.sim.After(n.cfg.RouterDelay, deliver)
+		n.deliverAt(now+n.cfg.RouterDelay, n.cfg.RouterDelay, deliver)
 		return
 	}
 
@@ -174,12 +240,7 @@ func (n *Network) Send(src, dst arch.NodeID, payloadBytes int, deliver func()) {
 	head := now + n.cfg.RouterDelay // source router/injection
 	ser := event.Time(flits) * n.cfg.LinkDelay
 	for _, l := range route {
-		if n.busyUntil[l] > head {
-			n.stats.StallCycles += uint64(n.busyUntil[l] - head)
-			head = n.busyUntil[l]
-		}
-		n.busyUntil[l] = head + ser
-		head += n.cfg.LinkDelay + n.cfg.RouterDelay // head flit: wire + next router
+		head = n.occupyLink(l, head, ser)
 		n.stats.FlitHops += uint64(flits)
 		n.stats.RouterHops++
 	}
@@ -188,8 +249,7 @@ func (n *Network) Send(src, dst arch.NodeID, payloadBytes int, deliver func()) {
 	if arrival < head {
 		arrival = head
 	}
-	n.stats.TotalLat += uint64(arrival - now)
-	n.sim.At(arrival, deliver)
+	n.deliverAt(arrival, arrival-now, deliver)
 }
 
 // Multicast sends an identical packet to every member of dsts, invoking
@@ -218,7 +278,10 @@ func (n *Network) Broadcast(src arch.NodeID, dsts arch.SharerSet, payloadBytes i
 	n.stats.Bytes += uint64(flits * n.cfg.FlitBytes)
 	dsts.ForEach(func(d arch.NodeID) {
 		if d == src {
-			n.sim.After(n.cfg.RouterDelay, func() { deliver(d) })
+			// Loopback is a delivery like any other: it costs the local
+			// router traversal and is counted in Deliveries/TotalLat
+			// (mirroring Send's src == dst path).
+			n.deliverAt(now+n.cfg.RouterDelay, n.cfg.RouterDelay, func() { deliver(d) })
 			return
 		}
 		head := now + n.cfg.RouterDelay
@@ -227,12 +290,7 @@ func (n *Network) Broadcast(src arch.NodeID, dsts arch.SharerSet, payloadBytes i
 				head = h // link already carries the packet for this subtree
 				continue
 			}
-			if n.busyUntil[l] > head {
-				n.stats.StallCycles += uint64(n.busyUntil[l] - head)
-				head = n.busyUntil[l]
-			}
-			n.busyUntil[l] = head + ser
-			head += n.cfg.LinkDelay + n.cfg.RouterDelay
+			head = n.occupyLink(l, head, ser)
 			headAfter[l] = head
 			n.stats.FlitHops += uint64(flits)
 			n.stats.RouterHops++
@@ -241,8 +299,7 @@ func (n *Network) Broadcast(src arch.NodeID, dsts arch.SharerSet, payloadBytes i
 		if arrival < head {
 			arrival = head
 		}
-		n.stats.TotalLat += uint64(arrival - now)
-		n.sim.At(arrival, func() { deliver(d) })
+		n.deliverAt(arrival, arrival-now, func() { deliver(d) })
 	})
 }
 

@@ -183,6 +183,114 @@ func TestStatsAccounting(t *testing.T) {
 	}
 }
 
+// Regression for the broadcast accounting bug: TotalLat accumulates once
+// per destination while Packets counts one injection per Broadcast, so the
+// old AvgLatency (TotalLat / Packets) over-reported broadcast latency by
+// the fan-out factor. The mean must be per-delivery.
+func TestBroadcastAvgLatencyIsPerDelivery(t *testing.T) {
+	sim, n := newNet()
+	dsts := arch.SetOf(1, 5, 15)
+	arrivals := make(map[arch.NodeID]event.Time)
+	n.Broadcast(0, dsts, 8, func(d arch.NodeID) { arrivals[d] = sim.Now() })
+	sim.Run()
+
+	s := n.Stats()
+	if s.Packets != 1 {
+		t.Fatalf("Packets = %d, want 1 (broadcast is one injection)", s.Packets)
+	}
+	if s.Deliveries != uint64(dsts.Count()) {
+		t.Fatalf("Deliveries = %d, want %d", s.Deliveries, dsts.Count())
+	}
+	var sum uint64
+	var farthest event.Time
+	dsts.ForEach(func(d arch.NodeID) {
+		sum += uint64(arrivals[d])
+		if arrivals[d] > farthest {
+			farthest = arrivals[d]
+		}
+	})
+	if s.TotalLat != sum {
+		t.Fatalf("TotalLat = %d, want per-delivery sum %d", s.TotalLat, sum)
+	}
+	want := float64(sum) / float64(dsts.Count())
+	if got := s.AvgLatency(); got != want {
+		t.Fatalf("AvgLatency = %v, want per-delivery mean %v", got, want)
+	}
+	// The old accounting reported the per-destination sum over one packet.
+	if old := float64(sum) / float64(s.Packets); s.AvgLatency() >= old {
+		t.Fatalf("AvgLatency = %v not below the old per-injection value %v", s.AvgLatency(), old)
+	}
+	// Invariant: the mean delivery latency is bounded by the slowest
+	// (farthest-destination) delivery on an idle mesh.
+	if s.AvgLatency() > float64(farthest) {
+		t.Fatalf("AvgLatency = %v exceeds farthest delivery %d", s.AvgLatency(), farthest)
+	}
+}
+
+// Invariant: a broadcast to k destinations yields exactly k deliveries and
+// k latency samples, for every k.
+func TestBroadcastDeliveriesPerDestination(t *testing.T) {
+	for k := 1; k <= 15; k++ {
+		sim, n := newNet()
+		dsts := arch.EmptySet
+		for d := 1; d <= k; d++ {
+			dsts = dsts.Add(arch.NodeID(d))
+		}
+		got := 0
+		n.Broadcast(0, dsts, 8, func(arch.NodeID) { got++ })
+		sim.Run()
+		if got != k {
+			t.Fatalf("k=%d: delivered %d times", k, got)
+		}
+		if s := n.Stats(); s.Deliveries != uint64(k) || s.Packets != 1 {
+			t.Fatalf("k=%d: Deliveries = %d, Packets = %d", k, s.Deliveries, s.Packets)
+		}
+	}
+}
+
+// Invariant: Send and Multicast keep Deliveries == Packets (each fan-out
+// leg of a Multicast is a source-replicated packet — the documented
+// asymmetry with Broadcast), including local delivery.
+func TestSendAndMulticastDeliveriesMatchPackets(t *testing.T) {
+	sim, n := newNet()
+	n.Send(0, 1, 8, func() {})
+	n.Send(3, 3, 64, func() {}) // local
+	n.Multicast(0, arch.SetOf(2, 7, 9), 8, func(arch.NodeID) {})
+	sim.Run()
+	s := n.Stats()
+	if s.Packets != 5 || s.Deliveries != 5 {
+		t.Fatalf("Packets = %d, Deliveries = %d, want 5 and 5", s.Packets, s.Deliveries)
+	}
+}
+
+// Invariant: on a contended link, a broadcast leg observes the same stall
+// cycles and arrival time as an equivalent unicast Send.
+func TestBroadcastStallMatchesSend(t *testing.T) {
+	simA, a := newNet()
+	a.Send(0, 1, 64, func() {}) // occupy link 0->1
+	var sendArrival event.Time
+	a.Send(0, 1, 8, func() { sendArrival = simA.Now() })
+	simA.Run()
+	sendStalls := a.Stats().StallCycles
+
+	simB, b := newNet()
+	b.Send(0, 1, 64, func() {}) // same contention
+	var bcastArrival event.Time
+	b.Broadcast(0, arch.SetOf(1), 8, func(arch.NodeID) { bcastArrival = simB.Now() })
+	simB.Run()
+	bcastStalls := b.Stats().StallCycles
+
+	if sendStalls == 0 {
+		t.Fatal("expected stalls on the contended link")
+	}
+	if bcastStalls != sendStalls {
+		t.Fatalf("broadcast stalls = %d, send stalls = %d", bcastStalls, sendStalls)
+	}
+	if bcastArrival != sendArrival {
+		t.Fatalf("broadcast arrival = %d, send arrival = %d", bcastArrival, sendArrival)
+	}
+}
+
 // Property: latency grows monotonically with hop count on an idle network.
 func TestPropertyLatencyMonotoneInDistance(t *testing.T) {
 	f := func(aRaw, bRaw uint8) bool {

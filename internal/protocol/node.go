@@ -138,7 +138,8 @@ type mshr struct {
 
 	cpuDone   func()
 	cpuCalled bool
-	waiters   []func() // same-line accesses arriving while outstanding
+	cpuLat    event.Time // CPU-visible latency, set when cpuDone fires
+	waiters   []func()   // same-line accesses arriving while outstanding
 }
 
 // wbEntry is a line in the writeback buffer: evicted locally but not yet
@@ -205,6 +206,9 @@ func (n *Node) Outstanding() int { return len(n.mshrs) + len(n.wb) }
 // OnSync delivers a captured synchronization point to the predictor
 // (paper §4.1: sync primitives are exposed to the hardware).
 func (n *Node) OnSync(kind predictor.SyncKind, staticID uint64) {
+	if o := n.sys.obs; o != nil && o.Sync != nil {
+		o.Sync(n.self, kind)
+	}
 	n.pred.OnSync(predictor.SyncEvent{Node: n.self, Kind: kind, StaticID: staticID})
 }
 
@@ -562,7 +566,8 @@ func (n *Node) checkComplete(ms *mshr) {
 		ms.acksGot >= ms.acksNeeded && (ms.dataArrived || !ms.needData)
 	if !ms.cpuCalled && (readReady || writeReady) {
 		ms.cpuCalled = true
-		lat := uint64(n.sys.Sim.Now() - ms.start)
+		ms.cpuLat = n.sys.Sim.Now() - ms.start
+		lat := uint64(ms.cpuLat)
 		n.stats.MissLatencySum += lat
 		// Communicating status is known reliably only after DirResp; for
 		// reads, infer from the data source when DirResp is still in
@@ -617,6 +622,10 @@ func (n *Node) finalize(ms *mshr) {
 		n.stats.Communicating++
 	} else {
 		n.stats.NonCommunicating++
+	}
+	if o := n.sys.obs; o != nil && o.Miss != nil {
+		o.Miss(n.self, ms.kind, ms.cpuLat, ms.communicating,
+			!ms.predSet.Empty(), !ms.predSet.Empty() && ms.communicating && ms.sufficient)
 	}
 	actual := ms.ackers.Union(ms.dirTargets)
 	if ms.provider != arch.None {

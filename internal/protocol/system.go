@@ -75,7 +75,30 @@ type System struct {
 	// Debug, when set, observes every message at delivery time (protocol
 	// debugging aid; nil in normal operation).
 	Debug func(now event.Time, m Msg)
+
+	// obs, when set, feeds the run-time metrics layer. Nil — the default —
+	// costs one branch per message/miss/sync.
+	obs *Obs
 }
+
+// Obs carries the metrics hooks of the directory protocol. Every field may
+// be nil independently; hooks fire synchronously inside the simulation at
+// the cycle the observed fact becomes true.
+type Obs struct {
+	// Message fires when a coherence message is delivered, with its
+	// network latency (injection to delivery).
+	Message func(kind MsgKind, lat event.Time)
+	// Miss fires when a finished L2 miss is finalized. lat is the
+	// CPU-visible latency; predicted/correct describe the prediction
+	// attempt (correct is meaningful only for predicted communicating
+	// misses, mirroring NodeStats.PredCorrect).
+	Miss func(node arch.NodeID, kind predictor.MissKind, lat event.Time, comm, predicted, correct bool)
+	// Sync fires when a node crosses a synchronization point.
+	Sync func(node arch.NodeID, kind predictor.SyncKind)
+}
+
+// SetObserver attaches (or, with nil, detaches) the metrics hooks.
+func (s *System) SetObserver(o *Obs) { s.obs = o }
 
 // New assembles a system. preds supplies one predictor per node; nil means
 // the baseline directory protocol everywhere.
@@ -105,6 +128,14 @@ func (s *System) Home(l arch.LineAddr) arch.NodeID {
 
 // send routes a message over the NoC and dispatches it on arrival.
 func (s *System) send(m Msg) {
+	if s.obs != nil && s.obs.Message != nil {
+		sent := s.Sim.Now()
+		s.Net.Send(m.Src, m.Dst, m.Kind.Bytes(), func() {
+			s.obs.Message(m.Kind, s.Sim.Now()-sent)
+			s.dispatch(m)
+		})
+		return
+	}
 	s.Net.Send(m.Src, m.Dst, m.Kind.Bytes(), func() { s.dispatch(m) })
 }
 

@@ -11,6 +11,7 @@ import (
 	"spcoh/internal/cpu"
 	"spcoh/internal/energy"
 	"spcoh/internal/event"
+	"spcoh/internal/metrics"
 	"spcoh/internal/noc"
 	"spcoh/internal/predictor"
 	"spcoh/internal/protocol"
@@ -48,6 +49,12 @@ type Options struct {
 
 	// MaxCycles aborts runaway simulations (0 = no limit).
 	MaxCycles event.Time
+
+	// MetricsEpoch, when non-zero, attaches the run-time metrics collector
+	// sampling the whole system every MetricsEpoch cycles; the resulting
+	// time-series lands in Result.Metrics. Zero (the default) collects
+	// nothing and adds no instrumentation beyond nil checks.
+	MetricsEpoch event.Time
 }
 
 // DefaultOptions returns the paper's machine with the baseline directory
@@ -82,6 +89,11 @@ type Result struct {
 	// (post-run occupancy for unbounded tables; configured capacity for
 	// bounded ones). Zero without prediction.
 	StorageBits int
+
+	// Metrics is the epoch time-series collected when Options.MetricsEpoch
+	// is non-zero; nil otherwise. It stays a pointer so the zero-config
+	// Result snapshot (and its %+v rendering) is unchanged.
+	Metrics *metrics.Series `json:"Metrics,omitempty"`
 }
 
 // Misses returns the total L2 miss count.
@@ -164,6 +176,24 @@ func Run(prog *workload.Program, opt Options) (*Result, error) {
 		}
 	}
 
+	var col *metrics.Collector
+	if opt.MetricsEpoch > 0 {
+		switch opt.Protocol {
+		case Directory:
+			col = metrics.NewCollector(s, metrics.Config{
+				EpochCycles: opt.MetricsEpoch, Links: dirSys.Net.NumLinks(), Nodes: n,
+			})
+			col.Attach(dirSys.Net)
+			dirSys.SetObserver(col.ProtocolObs())
+		case Broadcast:
+			col = metrics.NewCollector(s, metrics.Config{
+				EpochCycles: opt.MetricsEpoch, Links: snpSys.Net.NumLinks(), Nodes: n,
+			})
+			col.Attach(snpSys.Net)
+			snpSys.SetObserver(col.SnoopObs())
+		}
+	}
+
 	finished := 0
 	cores := make([]*cpu.Core, n)
 	for i := 0; i < n; i++ {
@@ -174,7 +204,16 @@ func Run(prog *workload.Program, opt Options) (*Result, error) {
 	}
 
 	if opt.MaxCycles > 0 {
-		s.RunUntil(opt.MaxCycles)
+		// Budget check via a peek loop rather than RunUntil: RunUntil now
+		// parks the clock at its limit (epoch-sampling semantics), which
+		// would inflate the reported Cycles of a run that finishes early.
+		for {
+			next, ok := s.NextTime()
+			if !ok || next > opt.MaxCycles {
+				break
+			}
+			s.Step()
+		}
 		if finished < n {
 			return nil, fmt.Errorf("sim: %s exceeded %d cycles (%d/%d cores done)", prog.Name, opt.MaxCycles, finished, n)
 		}
@@ -185,6 +224,9 @@ func Run(prog *workload.Program, opt Options) (*Result, error) {
 	}
 
 	res.Cycles = s.Now()
+	if col != nil {
+		res.Metrics = col.Finalize(s.Now())
+	}
 	switch opt.Protocol {
 	case Directory:
 		for _, node := range dirSys.Nodes {

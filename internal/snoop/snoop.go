@@ -55,7 +55,25 @@ type System struct {
 	// arb is the per-line arbitration queue modeling the ordered
 	// interconnect: the head transaction owns the line.
 	arb map[arch.LineAddr][]*txn
+
+	// obs, when set, feeds the run-time metrics layer (nil by default).
+	obs *Obs
 }
+
+// Obs carries the metrics hooks of the snoop protocol. Every field may be
+// nil independently. Request fires at each snoop-broadcast delivery and
+// Response at each snoop-response delivery, both with network latency;
+// memory-update writebacks are fire-and-forget and appear only in the
+// NoC-level delivery statistics. Miss fires when a miss completes, with
+// its CPU-visible latency.
+type Obs struct {
+	Request  func(lat event.Time)
+	Response func(lat event.Time)
+	Miss     func(node arch.NodeID, kind predictor.MissKind, lat event.Time, comm bool)
+}
+
+// SetObserver attaches (or, with nil, detaches) the metrics hooks.
+func (s *System) SetObserver(o *Obs) { s.obs = o }
 
 // Node is one tile: L1 + L2 + snoop logic.
 type Node struct {
@@ -194,7 +212,11 @@ func (n *Node) broadcast(t *txn) {
 	s := n.sys
 	t.expected = s.Cfg.Nodes - 1
 	dsts := arch.FullSet(s.Cfg.Nodes).Remove(n.self)
+	sent := s.Sim.Now()
 	s.Net.Broadcast(n.self, dsts, protocol.ControlBytes, func(d arch.NodeID) {
+		if s.obs != nil && s.obs.Request != nil {
+			s.obs.Request(s.Sim.Now() - sent)
+		}
 		s.Nodes[d].snoop(t)
 	})
 	// The home's memory controller sees the ordered broadcast too and
@@ -223,7 +245,11 @@ func (n *Node) speculativeFetch(t *txn) {
 		if t.data || t.memData || t.done == nil {
 			return // cancelled: a cache answered first
 		}
+		sent := s.Sim.Now()
 		s.Net.Send(n.self, t.node.self, protocol.DataBytes, func() {
+			if s.obs != nil && s.obs.Response != nil {
+				s.obs.Response(s.Sim.Now() - sent)
+			}
 			t.memData = true
 			t.node.complete(t)
 		})
@@ -248,7 +274,11 @@ func (n *Node) snoop(t *txn) {
 	}
 	respond := func(lat event.Time, bytes int, had, data bool) {
 		s.Sim.After(lat, func() {
+			sent := s.Sim.Now()
 			s.Net.Send(n.self, t.node.self, bytes, func() {
+				if s.obs != nil && s.obs.Response != nil {
+					s.obs.Response(s.Sim.Now() - sent)
+				}
 				t.responses++
 				if had {
 					t.anyShared = true
@@ -316,6 +346,9 @@ func (n *Node) complete(t *txn) {
 		n.stats.Communicating++
 	} else {
 		n.stats.NonCommunicating++
+	}
+	if o := n.sys.obs; o != nil && o.Miss != nil {
+		o.Miss(n.self, t.kind, n.sys.Sim.Now()-t.start, t.anyShared)
 	}
 
 	// Install.

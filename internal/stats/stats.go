@@ -53,18 +53,24 @@ func (h *Histogram) Add(v int) {
 	h.Total++
 }
 
-// Fraction returns the fraction of samples in bucket i.
+// Fraction returns the fraction of samples in bucket i. An out-of-range
+// index holds no samples, so it reports 0 rather than panicking.
 func (h *Histogram) Fraction(i int) float64 {
-	if h.Total == 0 {
+	if h.Total == 0 || i < 0 || i >= len(h.Buckets) {
 		return 0
 	}
 	return float64(h.Buckets[i]) / float64(h.Total)
 }
 
-// FractionAtLeast returns the fraction of samples in buckets >= i.
+// FractionAtLeast returns the fraction of samples in buckets >= i. A
+// negative i covers every bucket (reports 1 for a non-empty histogram);
+// an i past the last bucket covers none (reports 0).
 func (h *Histogram) FractionAtLeast(i int) float64 {
 	if h.Total == 0 {
 		return 0
+	}
+	if i < 0 {
+		i = 0
 	}
 	var n uint64
 	for j := i; j < len(h.Buckets); j++ {

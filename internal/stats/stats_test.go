@@ -47,6 +47,35 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+// Regression: out-of-range bucket indices used to index Buckets directly
+// and panic; they must report 0 (or, for FractionAtLeast with a negative
+// index, the whole distribution).
+func TestHistogramFractionOutOfRange(t *testing.T) {
+	h := NewHistogram(4)
+	for _, v := range []int{0, 1, 2} {
+		h.Add(v)
+	}
+	for _, i := range []int{-1, -100, len(h.Buckets), len(h.Buckets) + 7} {
+		if got := h.Fraction(i); got != 0 {
+			t.Errorf("Fraction(%d) = %v, want 0", i, got)
+		}
+	}
+	if got := h.FractionAtLeast(-1); got != 1 {
+		t.Errorf("FractionAtLeast(-1) = %v, want 1 (covers all buckets)", got)
+	}
+	if got := h.FractionAtLeast(len(h.Buckets)); got != 0 {
+		t.Errorf("FractionAtLeast(len) = %v, want 0", got)
+	}
+	if got := h.FractionAtLeast(len(h.Buckets) + 3); got != 0 {
+		t.Errorf("FractionAtLeast(len+3) = %v, want 0", got)
+	}
+	// Empty histograms stay 0 everywhere.
+	e := NewHistogram(2)
+	if e.Fraction(0) != 0 || e.FractionAtLeast(-5) != 0 || e.FractionAtLeast(99) != 0 {
+		t.Error("empty histogram must report 0 for every index")
+	}
+}
+
 func TestDistributionBasics(t *testing.T) {
 	d := NewDistribution(4)
 	d.Add(1, 10)

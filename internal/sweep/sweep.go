@@ -40,16 +40,27 @@ type Job struct {
 	Threads int     `json:"threads"`
 	Scale   float64 `json:"scale"`
 	Seed    int64   `json:"seed"`
+
+	// MetricsEpoch, when non-zero, runs the cell with the run-time metrics
+	// collector at this sampling epoch, so its artifact carries the
+	// phase-resolved time-series. omitempty keeps the canonical spec — and
+	// therefore Key and Digest — of metrics-free jobs identical to those of
+	// sweeps recorded before this field existed (resume compatibility).
+	MetricsEpoch uint64 `json:"metrics_epoch,omitempty"`
 }
 
 // Key returns the canonical sortable identity of the job, e.g.
 // "ocean/sp/t16/x0.25/s42". Reports and merged outputs are ordered by
-// this key.
+// this key. Metrics-enabled cells append "/m<epoch>".
 func (j Job) Key() string {
-	return j.Bench + "/" + j.Kind +
+	key := j.Bench + "/" + j.Kind +
 		"/t" + strconv.Itoa(j.Threads) +
 		"/x" + strconv.FormatFloat(j.Scale, 'g', -1, 64) +
 		"/s" + strconv.FormatInt(j.Seed, 10)
+	if j.MetricsEpoch != 0 {
+		key += "/m" + strconv.FormatUint(j.MetricsEpoch, 10)
+	}
+	return key
 }
 
 // Digest returns the job's content address: the SHA-256 of its canonical
@@ -73,6 +84,9 @@ type Matrix struct {
 	Seeds   []int64   `json:"seeds"`
 	Scales  []float64 `json:"scales"`
 	Threads int       `json:"threads"`
+
+	// MetricsEpoch applies to every cell of the matrix (0 = no metrics).
+	MetricsEpoch uint64 `json:"metrics_epoch,omitempty"`
 }
 
 // Jobs expands the cross product into jobs sorted by Key. Cells whose
@@ -85,7 +99,7 @@ func (m Matrix) Jobs() []Job {
 		for _, k := range m.Kinds {
 			for _, sc := range m.Scales {
 				for _, sd := range m.Seeds {
-					j := Job{Bench: b, Kind: k, Threads: m.Threads, Scale: sc, Seed: sd}
+					j := Job{Bench: b, Kind: k, Threads: m.Threads, Scale: sc, Seed: sd, MetricsEpoch: m.MetricsEpoch}
 					if key := j.Key(); !seen[key] {
 						seen[key] = true
 						jobs = append(jobs, j)

@@ -15,6 +15,10 @@
 #   spsweep smoke quick-scale sweep end to end: run, resume (must recall
 #                 every cell from the store), byte-compare the merged
 #                 outputs, status must report all cells complete
+#   spstat smoke  metrics pipeline end to end: a small instrumented run
+#                 twice (series must be byte-identical), spstat -validate
+#                 (epochs monotone/contiguous), JSON decode, and the
+#                 collector-overhead benchmark into results/BENCH_metrics.json
 #
 # Any gate failing exits non-zero.
 set -eu
@@ -67,6 +71,33 @@ grep -q "4 cached, 0 executed, 0 failed" "$sweepdir/run2.log" || {
 }
 "$sweepdir/spsweep" status -dir "$sweepdir/store" | grep -q "4/4 complete, 0 pending" || {
     echo "spsweep: status does not report a complete store" >&2
+    exit 1
+}
+
+echo "== spstat smoke (metrics series determinism / validate / overhead)"
+go build -o "$sweepdir/spsim" ./cmd/spsim
+go build -o "$sweepdir/spstat" ./cmd/spstat
+"$sweepdir/spsim" -bench x264 -pred sp -scale 0.05 \
+    -metrics-epoch 2000 -metrics-out "$sweepdir/series1.json" \
+    > /dev/null 2> "$sweepdir/sim1.log"
+"$sweepdir/spsim" -bench x264 -pred sp -scale 0.05 \
+    -metrics-epoch 2000 -metrics-out "$sweepdir/series2.json" \
+    > /dev/null 2> "$sweepdir/sim2.log"
+cmp "$sweepdir/series1.json" "$sweepdir/series2.json" || {
+    echo "spstat: same-seed metrics series differ" >&2
+    exit 1
+}
+"$sweepdir/spstat" -validate "$sweepdir/series1.json" | grep -q "valid series" || {
+    echo "spstat: series failed validation" >&2
+    exit 1
+}
+"$sweepdir/spstat" -format json "$sweepdir/series1.json" > /dev/null || {
+    echo "spstat: series JSON re-emit failed" >&2
+    exit 1
+}
+mkdir -p results
+"$sweepdir/spstat" -bench -bench-scale 0.05 -bench-out results/BENCH_metrics.json || {
+    echo "spstat: overhead benchmark failed" >&2
     exit 1
 }
 
