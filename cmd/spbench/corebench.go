@@ -1,0 +1,143 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"spcoh/internal/core"
+	"spcoh/internal/sim"
+	"spcoh/internal/workload"
+)
+
+// coreCell is one timed full-system configuration.
+type coreCell struct {
+	Bench string `json:"bench"`
+	Kind  string `json:"kind"` // dir | sp | bcast
+
+	SimCycles    uint64  `json:"sim_cycles"`
+	Events       uint64  `json:"events"`
+	WallNanos    int64   `json:"wall_nanos"` // best of the timed runs
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// coreRecord is one measurement pass over every cell.
+type coreRecord struct {
+	Runs         int        `json:"runs"`
+	Scale        float64    `json:"scale"`
+	Seed         int64      `json:"seed"`
+	Cells        []coreCell `json:"cells"`
+	CyclesPerSec float64    `json:"cycles_per_sec"` // aggregate: Σcycles / Σwall
+}
+
+// coreFile is the before/after record results/BENCH_core.json holds: the
+// baseline is written once (first invocation on the pre-optimization tree)
+// and preserved by every later refresh, so the speedup is always measured
+// against the same fixed point.
+type coreFile struct {
+	Baseline *coreRecord `json:"baseline"`
+	Current  *coreRecord `json:"current"`
+	Speedup  float64     `json:"speedup"` // current vs baseline aggregate cycles/sec
+}
+
+// coreCells is the fixed measurement matrix: the baseline directory
+// protocol, the paper's SP-predictor configuration (the headline cell the
+// acceptance bar gates on), and the broadcast comparison protocol.
+var coreCells = []struct{ bench, kind string }{
+	{"ocean", "dir"},
+	{"ocean", "sp"},
+	{"streamcluster", "bcast"},
+}
+
+func coreOptions(kind string) (sim.Options, error) {
+	opt := sim.DefaultOptions()
+	switch kind {
+	case "dir":
+	case "sp":
+		opt.Predictors = core.NewSystem(core.DefaultConfig(opt.Machine.Nodes))
+	case "bcast":
+		opt.Protocol = sim.Broadcast
+	default:
+		return opt, fmt.Errorf("core-bench: unknown kind %q", kind)
+	}
+	return opt, nil
+}
+
+// measureCell times runs repetitions of one cell and keeps the fastest
+// (wall noise only ever slows a run down).
+func measureCell(bench, kind string, runs int, scale float64, seed int64) (coreCell, error) {
+	p, err := workload.ByName(bench)
+	if err != nil {
+		return coreCell{}, err
+	}
+	prog := p.Build(16, scale, seed)
+	cell := coreCell{Bench: bench, Kind: kind}
+	for i := 0; i < runs; i++ {
+		opt, err := coreOptions(kind)
+		if err != nil {
+			return coreCell{}, err
+		}
+		start := time.Now()
+		res, err := sim.Run(prog, opt)
+		wall := time.Since(start)
+		if err != nil {
+			return coreCell{}, fmt.Errorf("core-bench %s/%s: %w", bench, kind, err)
+		}
+		if cell.WallNanos == 0 || wall.Nanoseconds() < cell.WallNanos {
+			cell.WallNanos = wall.Nanoseconds()
+			cell.SimCycles = uint64(res.Cycles)
+			cell.Events = res.Events
+		}
+	}
+	secs := float64(cell.WallNanos) / 1e9
+	cell.CyclesPerSec = float64(cell.SimCycles) / secs
+	cell.EventsPerSec = float64(cell.Events) / secs
+	return cell, nil
+}
+
+func runCoreBench(out string, runs int, scale float64, seed int64) error {
+	if runs < 1 {
+		runs = 1
+	}
+	rec := &coreRecord{Runs: runs, Scale: scale, Seed: seed}
+	var totCycles uint64
+	var totNanos int64
+	for _, c := range coreCells {
+		cell, err := measureCell(c.bench, c.kind, runs, scale, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "core-bench: %-14s %-5s %12d cycles  %8.1fms  %14.0f cycles/s\n",
+			cell.Bench, cell.Kind, cell.SimCycles, float64(cell.WallNanos)/1e6, cell.CyclesPerSec)
+		rec.Cells = append(rec.Cells, cell)
+		totCycles += cell.SimCycles
+		totNanos += cell.WallNanos
+	}
+	rec.CyclesPerSec = float64(totCycles) / (float64(totNanos) / 1e9)
+
+	file := &coreFile{}
+	if b, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(b, file); err != nil {
+			return fmt.Errorf("core-bench: corrupt %s: %w (delete it to re-baseline)", out, err)
+		}
+	}
+	if file.Baseline == nil {
+		file.Baseline = rec
+	}
+	file.Current = rec
+	file.Speedup = file.Current.CyclesPerSec / file.Baseline.CyclesPerSec
+	fmt.Fprintf(os.Stderr, "core-bench: aggregate %.0f cycles/s (%.2fx vs baseline %.0f)\n",
+		file.Current.CyclesPerSec, file.Speedup, file.Baseline.CyclesPerSec)
+
+	if err := os.MkdirAll(filepath.Dir(out), 0o755); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(out, append(b, '\n'), 0o644)
+}

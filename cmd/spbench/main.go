@@ -7,6 +7,13 @@
 //	spbench -quick              # reduced workload scale
 //	spbench -parallel -jobs 4   # experiments concurrently, shared cache
 //	spbench -format json        # machine-readable rows + wall times
+//	spbench -core-bench         # engine-throughput record → results/BENCH_core.json
+//	spbench -cpuprofile cpu.pprof -core-bench
+//
+// -core-bench measures simulated-cycles-per-second over a fixed set of
+// seeded full-system runs and writes a before/after record (see DESIGN.md
+// §11): the first invocation establishes the baseline, later invocations
+// keep it and report the current numbers plus the speedup against it.
 package main
 
 import (
@@ -15,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"time"
@@ -50,7 +58,48 @@ func main() {
 	parallel := flag.Bool("parallel", false, "generate experiments concurrently over the shared result cache")
 	jobs := flag.Int("jobs", runtime.NumCPU(), "worker count for -parallel")
 	format := flag.String("format", "text", "output format: text|json")
+	coreBench := flag.Bool("core-bench", false, "measure engine throughput and update the BENCH_core record")
+	coreOut := flag.String("core-out", "results/BENCH_core.json", "before/after record path for -core-bench")
+	coreRuns := flag.Int("core-runs", 3, "timed repetitions per cell for -core-bench (best run counts)")
+	coreScale := flag.Float64("core-scale", 0.2, "workload scale for -core-bench")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile here")
+	memprofile := flag.String("memprofile", "", "write an allocation profile here on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "spbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "spbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "spbench:", err)
+			}
+		}()
+	}
+
+	if *coreBench {
+		if err := runCoreBench(*coreOut, *coreRuns, *coreScale, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "spbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.All() {

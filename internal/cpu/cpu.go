@@ -51,6 +51,12 @@ type Core struct {
 	finished bool
 	onFinish func()
 	stats    Stats
+
+	// stepFn is the core's step bound once at construction: the execution
+	// loop passes it as the completion callback of every memory access and
+	// compute delay, instead of materializing a fresh method value (one
+	// heap allocation) per op.
+	stepFn func()
 }
 
 // New builds a core over its op stream. onFinish fires once at OpEnd.
@@ -58,7 +64,9 @@ func New(id int, sim *event.Sim, port MemPort, rt SyncRuntime, ops []workload.Op
 	if issueWidth < 1 {
 		issueWidth = 1
 	}
-	return &Core{ID: id, IssueWidth: issueWidth, sim: sim, port: port, rt: rt, ops: ops, onFinish: onFinish}
+	c := &Core{ID: id, IssueWidth: issueWidth, sim: sim, port: port, rt: rt, ops: ops, onFinish: onFinish}
+	c.stepFn = c.step
+	return c
 }
 
 // Stats returns a snapshot of the core's counters.
@@ -69,6 +77,11 @@ func (c *Core) Finished() bool { return c.finished }
 
 // Start begins execution at the current simulator time.
 func (c *Core) Start() { c.step() }
+
+// coreStep is the pre-bound form of (*Core).step for event.AfterFn: the
+// compute-op path schedules it with the core itself as argument,
+// allocation-free.
+func coreStep(a any) { a.(*Core).step() }
 
 // step executes the next op; every path reschedules asynchronously via the
 // event queue or a completion callback, so there is no unbounded recursion.
@@ -86,11 +99,11 @@ func (c *Core) step() {
 		if d < 1 {
 			d = 1
 		}
-		c.sim.After(d, c.step)
+		c.sim.AfterFn(d, coreStep, c)
 
 	case workload.OpRead, workload.OpWrite:
 		c.stats.MemOps++
-		c.port.Access(op.PC, op.Addr, op.Kind == workload.OpWrite, c.step)
+		c.port.Access(op.PC, op.Addr, op.Kind == workload.OpWrite, c.stepFn)
 
 	case workload.OpBarrier:
 		c.stats.Barriers++
@@ -117,7 +130,7 @@ func (c *Core) step() {
 			// perform the atomic RMW on the lock line — a migratory,
 			// communicating miss coming from the previous holder.
 			c.port.OnSync(predictor.SyncLock, op.Sync)
-			c.port.Access(0, op.Addr, true, c.step)
+			c.port.Access(0, op.Addr, true, c.stepFn)
 		})
 
 	case workload.OpUnlock:

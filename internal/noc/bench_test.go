@@ -1,0 +1,117 @@
+package noc
+
+import (
+	"testing"
+
+	"spcoh/internal/arch"
+	"spcoh/internal/event"
+)
+
+func nopDeliver()         {}
+func nopDeliverArg(any)   {}
+func nopNode(arch.NodeID) {}
+func warm(sim *event.Sim, n *Network) {
+	// Grow event-ring buckets and the nodeCb freelist once so the steady
+	// state is measured, not first-touch growth.
+	all := arch.EmptySet
+	for i := 0; i < n.cfg.Nodes(); i++ {
+		all = all.Add(arch.NodeID(i))
+	}
+	for i := 0; i < 64; i++ {
+		n.Send(0, arch.NodeID(i%n.cfg.Nodes()), 64, nopDeliver)
+		n.Broadcast(arch.NodeID(i%n.cfg.Nodes()), all, 8, nopNode)
+	}
+	sim.Run()
+	// Settle: drive the drained pattern through a few full ring revolutions
+	// so every bucket index the steady state touches has grown its slice.
+	for i := 0; i < 256; i++ {
+		n.Send(0, arch.NodeID(i%n.cfg.Nodes()), 64, nopDeliver)
+		sim.Run()
+		n.Broadcast(arch.NodeID(i%n.cfg.Nodes()), all, 8, nopNode)
+		sim.Run()
+	}
+}
+
+// TestAllocsSendCeiling enforces the NoC injection contract: a steady-state
+// SendFn (pre-bound callback, warm ring) allocates nothing, and the closure
+// form Send costs at most the one closure its caller hands in.
+func TestAllocsSendCeiling(t *testing.T) {
+	sim := event.New()
+	n := New(sim, DefaultConfig())
+	warm(sim, n)
+	arg := new(int)
+
+	if avg := testing.AllocsPerRun(500, func() {
+		n.SendFn(0, 5, 64, nopDeliverArg, arg)
+		sim.Run()
+	}); avg != 0 {
+		t.Errorf("steady-state SendFn: %v allocs/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(500, func() {
+		n.Send(0, 5, 64, nopDeliver)
+		sim.Run()
+	}); avg > 1 {
+		t.Errorf("steady-state Send: %v allocs/op, want <= 1", avg)
+	}
+}
+
+// TestAllocsBroadcastCeiling pins Broadcast's per-call overhead: the former
+// per-call head map is gone, so a warm broadcast pays at most one
+// allocation for the caller's per-delivery closure.
+func TestAllocsBroadcastCeiling(t *testing.T) {
+	sim := event.New()
+	n := New(sim, DefaultConfig())
+	warm(sim, n)
+	all := arch.EmptySet
+	for i := 0; i < n.cfg.Nodes(); i++ {
+		all = all.Add(arch.NodeID(i))
+	}
+	if avg := testing.AllocsPerRun(500, func() {
+		n.Broadcast(3, all, 8, nopNode)
+		sim.Run()
+	}); avg > 1 {
+		t.Errorf("steady-state Broadcast: %v allocs/op, want <= 1", avg)
+	}
+}
+
+func BenchmarkSend(b *testing.B) {
+	b.ReportAllocs()
+	sim := event.New()
+	n := New(sim, DefaultConfig())
+	warm(sim, n)
+	arg := new(int)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.SendFn(arch.NodeID(i%16), arch.NodeID((i*7)%16), 64, nopDeliverArg, arg)
+		sim.Run()
+	}
+}
+
+func BenchmarkBroadcast(b *testing.B) {
+	b.ReportAllocs()
+	sim := event.New()
+	n := New(sim, DefaultConfig())
+	warm(sim, n)
+	all := arch.EmptySet
+	for i := 0; i < n.cfg.Nodes(); i++ {
+		all = all.Add(arch.NodeID(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Broadcast(arch.NodeID(i%16), all, 8, nopNode)
+		sim.Run()
+	}
+}
+
+func BenchmarkMulticast(b *testing.B) {
+	b.ReportAllocs()
+	sim := event.New()
+	n := New(sim, DefaultConfig())
+	warm(sim, n)
+	dsts := arch.SetOf(1, 4, 11)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Multicast(arch.NodeID(i%16), dsts, 16, nopNode)
+		sim.Run()
+	}
+}

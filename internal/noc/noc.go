@@ -9,6 +9,13 @@
 // captures the three quantities the paper's evaluation depends on — per-hop
 // latency, serialization bandwidth, and congestion — without simulating
 // individual flits or virtual channels.
+//
+// The injection path is allocation-free in steady state (DESIGN.md §11):
+// routes are walked with a stack-resident iterator instead of materialized
+// slices, per-destination multicast/broadcast bindings come from a
+// freelist, Broadcast's tree state lives in epoch-stamped per-network
+// scratch arrays, and SendFn carries a pre-bound callback through the
+// event queue without a closure.
 package noc
 
 import (
@@ -81,6 +88,23 @@ type Observer interface {
 	Deliver(lat event.Time)
 }
 
+// nodeCb is a pooled per-destination delivery binding for Multicast and
+// Broadcast: deliverNode unpacks it, returns it to the network's freelist,
+// and invokes fn(d) — so fanning out to k endpoints allocates nothing in
+// steady state.
+type nodeCb struct {
+	net *Network
+	fn  func(arch.NodeID)
+	d   arch.NodeID
+}
+
+func deliverNode(a any) {
+	c := a.(*nodeCb)
+	net, fn, d := c.net, c.fn, c.d
+	net.putNodeCb(c)
+	fn(d)
+}
+
 // Network is a mesh instance bound to a simulator clock.
 type Network struct {
 	cfg Config
@@ -89,6 +113,16 @@ type Network struct {
 	busyUntil []event.Time
 	stats     Stats
 	obs       Observer
+
+	// bcHead/bcStamp replace Broadcast's former per-call map: bcHead[l] is
+	// the head-flit time after tree link l, valid iff bcStamp[l] == bcEpoch
+	// (stamping avoids clearing the scratch between broadcasts).
+	bcHead  []event.Time
+	bcStamp []uint64
+	bcEpoch uint64
+
+	// cbPool is the nodeCb freelist.
+	cbPool []*nodeCb
 }
 
 // New builds a network over the given simulator.
@@ -100,7 +134,13 @@ func New(sim *event.Sim, cfg Config) *Network {
 		panic(fmt.Sprintf("noc: %d nodes exceeds arch.MaxNodes", cfg.Nodes()))
 	}
 	// 4 directed links per node (N,E,S,W); edge links exist but are unused.
-	return &Network{cfg: cfg, sim: sim, busyUntil: make([]event.Time, cfg.Nodes()*4)}
+	links := cfg.Nodes() * 4
+	return &Network{
+		cfg: cfg, sim: sim,
+		busyUntil: make([]event.Time, links),
+		bcHead:    make([]event.Time, links),
+		bcStamp:   make([]uint64, links),
+	}
 }
 
 // Config returns the network configuration.
@@ -143,6 +183,50 @@ const (
 // linkIndex identifies the directed link leaving node id in direction dir.
 func (n *Network) linkIndex(id arch.NodeID, dir int) int { return int(id)*4 + dir }
 
+// routeIter walks the X-Y route from src to dst one directed link at a
+// time. It is a plain value (no backing slice), so hot paths walk routes
+// without allocating; Route materializes a slice for tests and debugging.
+type routeIter struct {
+	n      *Network
+	x, y   int // current coordinates
+	dx, dy int // destination coordinates
+	cur    arch.NodeID
+}
+
+func (n *Network) routeFrom(src, dst arch.NodeID) routeIter {
+	x, y := n.XY(src)
+	dx, dy := n.XY(dst)
+	return routeIter{n: n, x: x, y: y, dx: dx, dy: dy, cur: src}
+}
+
+// next returns the next directed link on the route, or ok=false at dst.
+func (it *routeIter) next() (link int, ok bool) {
+	n := it.n
+	if it.x != it.dx {
+		var dir int
+		if it.x < it.dx {
+			dir, it.x = dirEast, it.x+1
+		} else {
+			dir, it.x = dirWest, it.x-1
+		}
+		link = n.linkIndex(it.cur, dir)
+		it.cur = n.NodeAt(it.x, it.y)
+		return link, true
+	}
+	if it.y != it.dy {
+		var dir int
+		if it.y < it.dy {
+			dir, it.y = dirSouth, it.y+1
+		} else {
+			dir, it.y = dirNorth, it.y-1
+		}
+		link = n.linkIndex(it.cur, dir)
+		it.cur = n.NodeAt(it.x, it.y)
+		return link, true
+	}
+	return 0, false
+}
+
 // Route returns the sequence of directed links a packet traverses from src
 // to dst under X-Y (dimension-ordered) routing. Empty for src == dst.
 func (n *Network) Route(src, dst arch.NodeID) []int {
@@ -150,28 +234,9 @@ func (n *Network) Route(src, dst arch.NodeID) []int {
 		return nil
 	}
 	links := make([]int, 0, n.Hops(src, dst))
-	x, y := n.XY(src)
-	dx, dy := n.XY(dst)
-	cur := src
-	for x != dx {
-		var dir int
-		if x < dx {
-			dir, x = dirEast, x+1
-		} else {
-			dir, x = dirWest, x-1
-		}
-		links = append(links, n.linkIndex(cur, dir))
-		cur = n.NodeAt(x, y)
-	}
-	for y != dy {
-		var dir int
-		if y < dy {
-			dir, y = dirSouth, y+1
-		} else {
-			dir, y = dirNorth, y-1
-		}
-		links = append(links, n.linkIndex(cur, dir))
-		cur = n.NodeAt(x, y)
+	it := n.routeFrom(src, dst)
+	for l, ok := it.next(); ok; l, ok = it.next() {
+		links = append(links, l)
 	}
 	return links
 }
@@ -206,23 +271,44 @@ func (n *Network) occupyLink(l int, head, ser event.Time) event.Time {
 	return head + n.cfg.LinkDelay + n.cfg.RouterDelay // head flit: wire + next router
 }
 
-// deliverAt accounts one endpoint delivery of latency lat and schedules
-// deliver at the arrival cycle.
-func (n *Network) deliverAt(arrival, lat event.Time, deliver func()) {
+// deliverAt accounts one endpoint delivery of latency lat and schedules the
+// delivery — exactly one of fn (closure form) or pfn(arg) (pre-bound form)
+// — at the arrival cycle. The pre-bound form goes through the event queue
+// with no allocation; the observer path wraps in a closure, a cost only
+// instrumented runs pay.
+func (n *Network) deliverAt(arrival, lat event.Time, fn func(), pfn event.ArgFunc, arg any) {
 	n.stats.Deliveries++
 	n.stats.TotalLat += uint64(lat)
 	if n.obs != nil {
 		obs := n.obs
-		n.sim.At(arrival, func() { obs.Deliver(lat); deliver() })
+		if pfn != nil {
+			n.sim.At(arrival, func() { obs.Deliver(lat); pfn(arg) })
+		} else {
+			n.sim.At(arrival, func() { obs.Deliver(lat); fn() })
+		}
 		return
 	}
-	n.sim.At(arrival, deliver)
+	if pfn != nil {
+		n.sim.AtFn(arrival, pfn, arg)
+		return
+	}
+	n.sim.At(arrival, fn)
 }
 
 // Send injects a packet of payloadBytes from src to dst and schedules
 // deliver at the arrival time. Local delivery (src == dst) costs a fixed
 // router traversal. Send accounts all bandwidth/energy statistics.
 func (n *Network) Send(src, dst arch.NodeID, payloadBytes int, deliver func()) {
+	n.send(src, dst, payloadBytes, deliver, nil, nil)
+}
+
+// SendFn is Send with a pre-bound delivery callback: fn(arg) runs at the
+// arrival time. With a pointer-shaped arg the injection allocates nothing.
+func (n *Network) SendFn(src, dst arch.NodeID, payloadBytes int, fn event.ArgFunc, arg any) {
+	n.send(src, dst, payloadBytes, nil, fn, arg)
+}
+
+func (n *Network) send(src, dst arch.NodeID, payloadBytes int, deliver func(), pfn event.ArgFunc, arg any) {
 	now := n.sim.Now()
 	flits := n.Flits(payloadBytes)
 	bytes := uint64(flits * n.cfg.FlitBytes)
@@ -230,16 +316,16 @@ func (n *Network) Send(src, dst arch.NodeID, payloadBytes int, deliver func()) {
 	n.stats.Bytes += bytes
 
 	if src == dst {
-		n.deliverAt(now+n.cfg.RouterDelay, n.cfg.RouterDelay, deliver)
+		n.deliverAt(now+n.cfg.RouterDelay, n.cfg.RouterDelay, deliver, pfn, arg)
 		return
 	}
 
-	route := n.Route(src, dst)
 	// Head-flit time advances hop by hop; each link is held for the packet's
 	// serialization time starting when the head flit enters it.
 	head := now + n.cfg.RouterDelay // source router/injection
 	ser := event.Time(flits) * n.cfg.LinkDelay
-	for _, l := range route {
+	it := n.routeFrom(src, dst)
+	for l, ok := it.next(); ok; l, ok = it.next() {
 		head = n.occupyLink(l, head, ser)
 		n.stats.FlitHops += uint64(flits)
 		n.stats.RouterHops++
@@ -249,7 +335,22 @@ func (n *Network) Send(src, dst arch.NodeID, payloadBytes int, deliver func()) {
 	if arrival < head {
 		arrival = head
 	}
-	n.deliverAt(arrival, arrival-now, deliver)
+	n.deliverAt(arrival, arrival-now, deliver, pfn, arg)
+}
+
+func (n *Network) getNodeCb(fn func(arch.NodeID), d arch.NodeID) *nodeCb {
+	if k := len(n.cbPool); k > 0 {
+		c := n.cbPool[k-1]
+		n.cbPool = n.cbPool[:k-1]
+		c.fn, c.d = fn, d
+		return c
+	}
+	return &nodeCb{net: n, fn: fn, d: d}
+}
+
+func (n *Network) putNodeCb(c *nodeCb) {
+	c.fn = nil
+	n.cbPool = append(n.cbPool, c)
 }
 
 // Multicast sends an identical packet to every member of dsts, invoking
@@ -258,7 +359,7 @@ func (n *Network) Send(src, dst arch.NodeID, payloadBytes int, deliver func()) {
 // for *predicted* requests, which target a handful of nodes.
 func (n *Network) Multicast(src arch.NodeID, dsts arch.SharerSet, payloadBytes int, deliver func(arch.NodeID)) {
 	dsts.ForEach(func(d arch.NodeID) {
-		n.Send(src, d, payloadBytes, func() { deliver(d) })
+		n.send(src, d, payloadBytes, nil, deliverNode, n.getNodeCb(deliver, d))
 	})
 }
 
@@ -272,8 +373,7 @@ func (n *Network) Broadcast(src arch.NodeID, dsts arch.SharerSet, payloadBytes i
 	now := n.sim.Now()
 	flits := n.Flits(payloadBytes)
 	ser := event.Time(flits) * n.cfg.LinkDelay
-	// headAfter[l] is the head-flit time just after traversing tree link l.
-	headAfter := make(map[int]event.Time)
+	n.bcEpoch++
 	n.stats.Packets++
 	n.stats.Bytes += uint64(flits * n.cfg.FlitBytes)
 	dsts.ForEach(func(d arch.NodeID) {
@@ -281,17 +381,19 @@ func (n *Network) Broadcast(src arch.NodeID, dsts arch.SharerSet, payloadBytes i
 			// Loopback is a delivery like any other: it costs the local
 			// router traversal and is counted in Deliveries/TotalLat
 			// (mirroring Send's src == dst path).
-			n.deliverAt(now+n.cfg.RouterDelay, n.cfg.RouterDelay, func() { deliver(d) })
+			n.deliverAt(now+n.cfg.RouterDelay, n.cfg.RouterDelay, nil, deliverNode, n.getNodeCb(deliver, d))
 			return
 		}
 		head := now + n.cfg.RouterDelay
-		for _, l := range n.Route(src, d) {
-			if h, ok := headAfter[l]; ok {
-				head = h // link already carries the packet for this subtree
+		it := n.routeFrom(src, d)
+		for l, ok := it.next(); ok; l, ok = it.next() {
+			if n.bcStamp[l] == n.bcEpoch {
+				head = n.bcHead[l] // link already carries the packet for this subtree
 				continue
 			}
 			head = n.occupyLink(l, head, ser)
-			headAfter[l] = head
+			n.bcHead[l] = head
+			n.bcStamp[l] = n.bcEpoch
 			n.stats.FlitHops += uint64(flits)
 			n.stats.RouterHops++
 		}
@@ -299,7 +401,7 @@ func (n *Network) Broadcast(src arch.NodeID, dsts arch.SharerSet, payloadBytes i
 		if arrival < head {
 			arrival = head
 		}
-		n.deliverAt(arrival, arrival-now, func() { deliver(d) })
+		n.deliverAt(arrival, arrival-now, nil, deliverNode, n.getNodeCb(deliver, d))
 	})
 }
 

@@ -125,16 +125,39 @@ func (d *DirSlice) drain(e *dirLine, l arch.LineAddr) {
 	}
 }
 
+// dirGet is the pooled binding of a directory access in flight (startGet's
+// DirLatency delay).
+type dirGet struct {
+	d *DirSlice
+	e *dirLine
+	m Msg
+}
+
+func fireDirGet(a any) {
+	g := a.(*dirGet)
+	d, e, m := g.d, g.e, g.m
+	g.d, g.e = nil, nil
+	d.sys.getPool = append(d.sys.getPool, g)
+	if m.Kind == MsgGetS {
+		d.processGetS(e, m)
+	} else {
+		d.processGetM(e, m)
+	}
+}
+
 // startGet begins a Get transaction after the directory access latency.
 func (d *DirSlice) startGet(e *dirLine, m Msg) {
 	e.busy = true
-	d.sys.Sim.After(d.sys.Cfg.DirLatency, func() {
-		if m.Kind == MsgGetS {
-			d.processGetS(e, m)
-		} else {
-			d.processGetM(e, m)
-		}
-	})
+	s := d.sys
+	var g *dirGet
+	if k := len(s.getPool); k > 0 {
+		g = s.getPool[k-1]
+		s.getPool = s.getPool[:k-1]
+		g.d, g.e, g.m = d, e, m
+	} else {
+		g = &dirGet{d: d, e: e, m: m}
+	}
+	s.Sim.AfterFn(s.Cfg.DirLatency, fireDirGet, g)
 }
 
 // reply sends a message originating at this directory slice.
@@ -143,15 +166,39 @@ func (d *DirSlice) reply(m Msg) {
 	d.sys.send(m)
 }
 
+// memFetch is the pooled binding of a memory round trip launched by
+// memData.
+type memFetch struct {
+	d    *DirSlice
+	m    Msg
+	excl bool
+	acks int
+}
+
+func fireMemFetch(a any) {
+	f := a.(*memFetch)
+	d, m, excl, acks := f.d, f.m, f.excl, f.acks
+	f.d = nil
+	d.sys.memPool = append(d.sys.memPool, f)
+	d.reply(Msg{
+		Kind: MsgData, Dst: m.Requester, Line: m.Line, Requester: m.Requester,
+		Excl: excl, FromMem: true, AckCount: acks, MissKind: m.MissKind,
+	})
+}
+
 // memData schedules a memory fetch and then a data response to the
 // requester. The line stays busy until the requester unblocks.
 func (d *DirSlice) memData(m Msg, excl bool, acks int) {
-	d.sys.Sim.After(d.sys.Cfg.MemLatency, func() {
-		d.reply(Msg{
-			Kind: MsgData, Dst: m.Requester, Line: m.Line, Requester: m.Requester,
-			Excl: excl, FromMem: true, AckCount: acks, MissKind: m.MissKind,
-		})
-	})
+	s := d.sys
+	var f *memFetch
+	if k := len(s.memPool); k > 0 {
+		f = s.memPool[k-1]
+		s.memPool = s.memPool[:k-1]
+		f.d, f.m, f.excl, f.acks = d, m, excl, acks
+	} else {
+		f = &memFetch{d: d, m: m, excl: excl, acks: acks}
+	}
+	s.Sim.AfterFn(s.Cfg.MemLatency, fireMemFetch, f)
 }
 
 // processGetS services a read miss. The directory determines, from its own

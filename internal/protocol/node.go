@@ -172,8 +172,38 @@ type Node struct {
 }
 
 // predInvWindow bounds how long a too-early predicted invalidation can
-// poison a subsequent miss (comfortably longer than any transaction).
-func (n *Node) predInvWindow() event.Time { return 4 * n.sys.Cfg.MemLatency }
+// poison a subsequent miss. Config.PredInvWindow overrides the default of
+// 4*MemLatency (comfortably longer than any transaction).
+func (n *Node) predInvWindow() event.Time {
+	if w := n.sys.Cfg.PredInvWindow; w != 0 {
+		return w
+	}
+	return 4 * n.sys.Cfg.MemLatency
+}
+
+// predInvPruneMin is the table size below which prunePredInv does nothing:
+// tiny tables cost nothing to keep, and the guard keeps the amortized prune
+// cost off the common path. A var so tests can force pruning on every touch
+// and pin that eviction is invisible to coherence decisions.
+var predInvPruneMin = 32
+
+// prunePredInv evicts race-window records that have already expired, keeping
+// recentPredInv bounded by the lines predicted-invalidated within one
+// window. Expiry is a pure function of each entry's own timestamp — whether
+// an entry is deleted does not depend on when the others are visited — so
+// the unordered range cannot affect simulation outcomes.
+func (n *Node) prunePredInv() {
+	if len(n.recentPredInv) < predInvPruneMin {
+		return
+	}
+	now := n.sys.Sim.Now()
+	w := n.predInvWindow()
+	for l, at := range n.recentPredInv { //spvet:ordered
+		if now-at >= w {
+			delete(n.recentPredInv, l)
+		}
+	}
+}
 
 func newNode(sys *System, self arch.NodeID, p predictor.Predictor) *Node {
 	return &Node{
@@ -266,7 +296,35 @@ func (n *Node) miss(pc uint64, line arch.LineAddr, kind predictor.MissKind, done
 	}
 
 	detect := n.sys.Cfg.L1Latency + n.sys.Cfg.L2TagLatency
-	n.sys.Sim.After(detect, func() { n.issueMiss(pc, line, kind, done) })
+	n.sys.Sim.AfterFn(detect, fireMissIssue, n.sys.getMissIssue(n, pc, line, kind, done))
+}
+
+// missIssue is the pooled binding of a miss-detection delay: one record per
+// L2 miss rides the event queue instead of a four-capture closure.
+type missIssue struct {
+	n    *Node
+	pc   uint64
+	line arch.LineAddr
+	kind predictor.MissKind
+	done func()
+}
+
+func (s *System) getMissIssue(n *Node, pc uint64, line arch.LineAddr, kind predictor.MissKind, done func()) *missIssue {
+	if k := len(s.missPool); k > 0 {
+		r := s.missPool[k-1]
+		s.missPool = s.missPool[:k-1]
+		r.n, r.pc, r.line, r.kind, r.done = n, pc, line, kind, done
+		return r
+	}
+	return &missIssue{n: n, pc: pc, line: line, kind: kind, done: done}
+}
+
+func fireMissIssue(a any) {
+	r := a.(*missIssue)
+	n, pc, line, kind, done := r.n, r.pc, r.line, r.kind, r.done
+	r.n, r.done = nil, nil // release references before reuse
+	n.sys.missPool = append(n.sys.missPool, r)
+	n.issueMiss(pc, line, kind, done)
 }
 
 func (n *Node) issueMiss(pc uint64, line arch.LineAddr, kind predictor.MissKind, done func()) {
@@ -306,6 +364,7 @@ func (n *Node) issueMiss(pc uint64, line arch.LineAddr, kind predictor.MissKind,
 			m.poisoned = true
 		}
 	}
+	n.prunePredInv()
 	n.mshrs[line] = m
 
 	// Prediction action (§4.5): multicast to the predicted nodes...
@@ -437,6 +496,7 @@ func (n *Node) handlePredGetM(m Msg) {
 		if !st.Valid() {
 			// Nothing here yet: a miss of ours may be about to issue and
 			// would fill after the requester's transaction serializes.
+			n.prunePredInv()
 			n.recentPredInv[m.Line] = n.sys.Sim.Now()
 		}
 		n.invalidateLocal(m.Line)

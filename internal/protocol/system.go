@@ -23,6 +23,12 @@ type Config struct {
 	DirLatency    event.Time // directory slice access
 	MemLatency    event.Time // main memory round trip from the home tile
 
+	// PredInvWindow bounds how long a predicted invalidation that found
+	// nothing to invalidate can poison a subsequent same-line miss (the race
+	// in Node.recentPredInv); entries past the window are evicted. Zero
+	// selects the default of 4*MemLatency.
+	PredInvWindow event.Time
+
 	NoC noc.Config
 }
 
@@ -79,6 +85,53 @@ type System struct {
 	// obs, when set, feeds the run-time metrics layer. Nil — the default —
 	// costs one branch per message/miss/sync.
 	obs *Obs
+
+	// Freelists for the pooled scheduling records of the hot paths: every
+	// in-flight message, delayed send, miss issue, directory access and
+	// memory fetch rides a reused record through the event queue instead of
+	// a fresh closure (DESIGN.md §11). The simulation is single-threaded,
+	// so plain slice stacks suffice.
+	msgPool  []*delivery
+	missPool []*missIssue
+	getPool  []*dirGet
+	memPool  []*memFetch
+}
+
+// delivery carries one in-flight message through the scheduler. A record is
+// acquired at send time, optionally parked through a source-side delay
+// (sendAfter), injected into the NoC, and released at dispatch.
+type delivery struct {
+	s    *System
+	m    Msg
+	sent event.Time // injection time, for the metrics observer
+}
+
+func (s *System) getDelivery(m Msg) *delivery {
+	if k := len(s.msgPool); k > 0 {
+		d := s.msgPool[k-1]
+		s.msgPool = s.msgPool[:k-1]
+		d.m = m
+		return d
+	}
+	return &delivery{s: s, m: m}
+}
+
+// deliverMsg fires at NoC arrival: it frees the record first (Msg is all
+// scalars, and dispatch may recursively send) and then dispatches.
+func deliverMsg(a any) {
+	d := a.(*delivery)
+	s, m, sent := d.s, d.m, d.sent
+	s.msgPool = append(s.msgPool, d)
+	if s.obs != nil && s.obs.Message != nil {
+		s.obs.Message(m.Kind, s.Sim.Now()-sent)
+	}
+	s.dispatch(m)
+}
+
+// transmitMsg fires when a sendAfter source-side delay elapses.
+func transmitMsg(a any) {
+	d := a.(*delivery)
+	d.s.transmit(d)
 }
 
 // Obs carries the metrics hooks of the directory protocol. Every field may
@@ -127,21 +180,16 @@ func (s *System) Home(l arch.LineAddr) arch.NodeID {
 }
 
 // send routes a message over the NoC and dispatches it on arrival.
-func (s *System) send(m Msg) {
-	if s.obs != nil && s.obs.Message != nil {
-		sent := s.Sim.Now()
-		s.Net.Send(m.Src, m.Dst, m.Kind.Bytes(), func() {
-			s.obs.Message(m.Kind, s.Sim.Now()-sent)
-			s.dispatch(m)
-		})
-		return
-	}
-	s.Net.Send(m.Src, m.Dst, m.Kind.Bytes(), func() { s.dispatch(m) })
+func (s *System) send(m Msg) { s.transmit(s.getDelivery(m)) }
+
+func (s *System) transmit(d *delivery) {
+	d.sent = s.Sim.Now()
+	s.Net.SendFn(d.m.Src, d.m.Dst, d.m.Kind.Bytes(), deliverMsg, d)
 }
 
 // sendAfter routes a message after a local processing delay at the source.
 func (s *System) sendAfter(d event.Time, m Msg) {
-	s.Sim.After(d, func() { s.send(m) })
+	s.Sim.AfterFn(d, transmitMsg, s.getDelivery(m))
 }
 
 func (s *System) dispatch(m Msg) {

@@ -75,6 +75,7 @@ type Result struct {
 	Predictor string
 
 	Cycles event.Time // execution time (all cores finished)
+	Events uint64     // discrete events fired by the engine (throughput accounting)
 
 	// Directory-protocol statistics (zero for Broadcast runs).
 	Nodes protocol.NodeStats
@@ -224,6 +225,7 @@ func Run(prog *workload.Program, opt Options) (*Result, error) {
 	}
 
 	res.Cycles = s.Now()
+	res.Events = s.Fired
 	if col != nil {
 		res.Metrics = col.Finalize(s.Now())
 	}

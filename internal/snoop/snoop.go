@@ -58,6 +58,51 @@ type System struct {
 
 	// obs, when set, feeds the run-time metrics layer (nil by default).
 	obs *Obs
+
+	// respPool recycles snoop-response bindings (see snoopResp): every
+	// broadcast fans out to Nodes-1 responders, so the response path is the
+	// package's hottest allocation site.
+	respPool []*snoopResp
+}
+
+// snoopResp is the pooled binding of one snoop response: the responder's
+// local lookup delay, then the network flight back to the requester.
+type snoopResp struct {
+	n         *Node // responder
+	t         *txn
+	bytes     int
+	had, data bool
+	sent      event.Time
+}
+
+// respLaunch fires when the responder's L2 lookup latency elapses and
+// injects the response packet.
+func respLaunch(a any) {
+	r := a.(*snoopResp)
+	s := r.n.sys
+	r.sent = s.Sim.Now()
+	s.Net.SendFn(r.n.self, r.t.node.self, r.bytes, respArrive, r)
+}
+
+// respArrive fires at the requester: it frees the record, updates the
+// transaction and re-checks completion.
+func respArrive(a any) {
+	r := a.(*snoopResp)
+	s := r.n.sys
+	t, had, data, sent := r.t, r.had, r.data, r.sent
+	r.n, r.t = nil, nil
+	s.respPool = append(s.respPool, r)
+	if s.obs != nil && s.obs.Response != nil {
+		s.obs.Response(s.Sim.Now() - sent)
+	}
+	t.responses++
+	if had {
+		t.anyShared = true
+	}
+	if data {
+		t.data = true
+	}
+	t.node.complete(t)
 }
 
 // Obs carries the metrics hooks of the snoop protocol. Every field may be
@@ -101,6 +146,11 @@ type txn struct {
 	anyShared    bool // some responder held a copy (install F, count communicating)
 	done         func()
 	waiters      []func()
+
+	// home is the home tile once its speculative fetch is launched; memSent
+	// stamps the memory data's injection time for the metrics observer.
+	home    *Node
+	memSent event.Time
 }
 
 // New assembles a snoop system.
@@ -196,13 +246,19 @@ func (n *Node) miss(line arch.LineAddr, kind predictor.MissKind, done func()) {
 	t := &txn{node: n, line: line, kind: kind, start: n.sys.Sim.Now(), done: done}
 	n.outstanding[line] = t
 	detect := n.sys.Cfg.L1Latency + n.sys.Cfg.L2TagLatency
-	n.sys.Sim.After(detect, func() {
-		q := n.sys.arb[line]
-		n.sys.arb[line] = append(q, t)
-		if len(q) == 0 { // we are the head: go
-			n.broadcast(t)
-		}
-	})
+	n.sys.Sim.AfterFn(detect, arbJoin, t)
+}
+
+// arbJoin fires when miss detection completes: the transaction joins the
+// per-line arbitration queue and broadcasts if it is the head.
+func arbJoin(a any) {
+	t := a.(*txn)
+	n := t.node
+	q := n.sys.arb[t.line]
+	n.sys.arb[t.line] = append(q, t)
+	if len(q) == 0 { // we are the head: go
+		n.broadcast(t)
+	}
 }
 
 // broadcast sends the snoop request to every other tile along the fabric's
@@ -224,12 +280,17 @@ func (n *Node) broadcast(t *txn) {
 	// first (the HITM signal of bus-based snooping). When the requester is
 	// its own home the fetch starts locally.
 	if t.kind != predictor.UpgradeMiss && s.Home(t.line) == n.self {
-		s.Sim.After(s.Cfg.MemLatency, func() {
-			if !t.data && !t.memData && t.done != nil {
-				t.memData = true
-				n.complete(t)
-			}
-		})
+		s.Sim.AfterFn(s.Cfg.MemLatency, localMemFetch, t)
+	}
+}
+
+// localMemFetch completes a requester-is-home speculative fetch: the data
+// is local, so no packet flies.
+func localMemFetch(a any) {
+	t := a.(*txn)
+	if !t.data && !t.memData && t.done != nil {
+		t.memData = true
+		t.node.complete(t)
 	}
 }
 
@@ -240,20 +301,31 @@ func (n *Node) speculativeFetch(t *txn) {
 		return
 	}
 	t.memRequested = true
-	s := n.sys
-	s.Sim.After(s.Cfg.MemLatency, func() {
-		if t.data || t.memData || t.done == nil {
-			return // cancelled: a cache answered first
-		}
-		sent := s.Sim.Now()
-		s.Net.Send(n.self, t.node.self, protocol.DataBytes, func() {
-			if s.obs != nil && s.obs.Response != nil {
-				s.obs.Response(s.Sim.Now() - sent)
-			}
-			t.memData = true
-			t.node.complete(t)
-		})
-	})
+	t.home = n
+	n.sys.Sim.AfterFn(n.sys.Cfg.MemLatency, specFetchLaunch, t)
+}
+
+// specFetchLaunch fires when the home's memory round trip completes and
+// sends the data unless a cache answered first.
+func specFetchLaunch(a any) {
+	t := a.(*txn)
+	if t.data || t.memData || t.done == nil {
+		return // cancelled: a cache answered first
+	}
+	s := t.home.sys
+	t.memSent = s.Sim.Now()
+	s.Net.SendFn(t.home.self, t.node.self, protocol.DataBytes, specDataArrive, t)
+}
+
+// specDataArrive fires at the requester with the home's memory data.
+func specDataArrive(a any) {
+	t := a.(*txn)
+	s := t.node.sys
+	if s.obs != nil && s.obs.Response != nil {
+		s.obs.Response(s.Sim.Now() - t.memSent)
+	}
+	t.memData = true
+	t.node.complete(t)
 }
 
 // snoop probes this tile's L2 on behalf of requester t and responds.
@@ -273,22 +345,15 @@ func (n *Node) snoop(t *txn) {
 		st = l.State
 	}
 	respond := func(lat event.Time, bytes int, had, data bool) {
-		s.Sim.After(lat, func() {
-			sent := s.Sim.Now()
-			s.Net.Send(n.self, t.node.self, bytes, func() {
-				if s.obs != nil && s.obs.Response != nil {
-					s.obs.Response(s.Sim.Now() - sent)
-				}
-				t.responses++
-				if had {
-					t.anyShared = true
-				}
-				if data {
-					t.data = true
-				}
-				t.node.complete(t)
-			})
-		})
+		var r *snoopResp
+		if k := len(s.respPool); k > 0 {
+			r = s.respPool[k-1]
+			s.respPool = s.respPool[:k-1]
+			r.n, r.t, r.bytes, r.had, r.data = n, t, bytes, had, data
+		} else {
+			r = &snoopResp{n: n, t: t, bytes: bytes, had: had, data: data}
+		}
+		s.Sim.AfterFn(lat, respLaunch, r)
 	}
 	if t.kind == predictor.ReadMiss {
 		if st.CanForward() {

@@ -19,6 +19,12 @@
 #                 twice (series must be byte-identical), spstat -validate
 #                 (epochs monotone/contiguous), JSON decode, and the
 #                 collector-overhead benchmark into results/BENCH_metrics.json
+#   bench smoke   every testing.B benchmark compiled and run once
+#                 (-benchtime=1x) so benchmark code cannot rot, then
+#                 spbench -core-bench refreshes results/BENCH_core.json
+#                 (timings recorded, not gated — wall time on shared boxes
+#                 is noise; allocation regressions are gated by the
+#                 AllocsPerRun ceilings inside go test; see DESIGN.md §11)
 #
 # Any gate failing exits non-zero.
 set -eu
@@ -98,6 +104,20 @@ cmp "$sweepdir/series1.json" "$sweepdir/series2.json" || {
 mkdir -p results
 "$sweepdir/spstat" -bench -bench-scale 0.05 -bench-out results/BENCH_metrics.json || {
     echo "spstat: overhead benchmark failed" >&2
+    exit 1
+}
+
+echo "== bench smoke (compile + run every benchmark once)"
+go test -bench=. -benchtime=1x -run='^$' ./... > "$sweepdir/bench.log" 2>&1 || {
+    echo "bench smoke failed:" >&2
+    cat "$sweepdir/bench.log" >&2
+    exit 1
+}
+
+echo "== spbench core benchmark (results/BENCH_core.json refresh)"
+go build -o "$sweepdir/spbench" ./cmd/spbench
+"$sweepdir/spbench" -core-bench -core-out results/BENCH_core.json || {
+    echo "spbench: core benchmark failed" >&2
     exit 1
 }
 
