@@ -26,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"spcoh/internal/event"
@@ -171,35 +172,46 @@ func runBench(bench string, scale float64, epoch uint64, out string) error {
 	if err != nil {
 		return err
 	}
-	const seed, runs = 42, 3
+	const seed, runs = 42, 9
 	run := func(metricsEpoch uint64) (*sim.Result, time.Duration, error) {
-		var best time.Duration
-		var res *sim.Result
-		for i := 0; i < runs; i++ {
-			prog := prof.Build(16, scale, seed)
-			opt := sim.DefaultOptions()
-			opt.MetricsEpoch = event.Time(metricsEpoch)
-			start := time.Now()
-			r, err := sim.Run(prog, opt)
-			wall := time.Since(start)
-			if err != nil {
-				return nil, 0, err
-			}
-			if res == nil || wall < best {
-				best, res = wall, r
-			}
-		}
-		return res, best, nil
+		prog := prof.Build(16, scale, seed)
+		opt := sim.DefaultOptions()
+		opt.MetricsEpoch = event.Time(metricsEpoch)
+		start := time.Now()
+		r, err := sim.Run(prog, opt)
+		return r, time.Since(start), err
 	}
 
-	off, offWall, err := run(0)
+	// Warm up both configurations untimed: the first runs pay one-time
+	// costs (page faults, branch-predictor and cache warmup, heap growth)
+	// that would otherwise bias whichever side runs first. Then interleave
+	// the timed off/on pairs so slow drift (thermal throttling, competing
+	// load) hits both sides equally, and take medians, which shrug off the
+	// occasional run an OS hiccup inflates.
+	off, _, err := run(0)
 	if err != nil {
 		return err
 	}
-	on, onWall, err := run(epoch)
+	on, _, err := run(epoch)
 	if err != nil {
 		return err
 	}
+	offTimes := make([]time.Duration, 0, runs)
+	onTimes := make([]time.Duration, 0, runs)
+	for i := 0; i < runs; i++ {
+		_, offT, err := run(0)
+		if err != nil {
+			return err
+		}
+		_, onT, err := run(epoch)
+		if err != nil {
+			return err
+		}
+		offTimes = append(offTimes, offT)
+		onTimes = append(onTimes, onT)
+	}
+	offWall := median(offTimes)
+	onWall := median(onTimes)
 	if off.Cycles != on.Cycles || off.Misses() != on.Misses() {
 		return fmt.Errorf("metrics perturbed the simulation: cycles %d vs %d, misses %d vs %d",
 			off.Cycles, on.Cycles, off.Misses(), on.Misses())
@@ -227,4 +239,11 @@ func runBench(bench string, scale float64, epoch uint64, out string) error {
 		bench, scale, float64(offWall.Nanoseconds())/1e6, float64(onWall.Nanoseconds())/1e6,
 		epoch, rep.Epochs, rep.OverheadPct, out)
 	return nil
+}
+
+// median returns the middle of the sorted samples (lower middle when even).
+func median(ds []time.Duration) time.Duration {
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[(len(s)-1)/2]
 }

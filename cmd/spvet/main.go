@@ -1,18 +1,27 @@
-// Command spvet is the repository's determinism linter: a stdlib-only
-// static analyzer that enforces the invariants the DES engine depends on
-// (reproducible experiments; see internal/event and internal/lint).
+// Command spvet is the repository's invariant analyzer: a stdlib-only
+// static checker that enforces the whole-program invariants the simulator
+// depends on — determinism of iteration and arithmetic, enum
+// exhaustiveness, allocation-free hot paths, observer purity, and pooled
+// record lifetimes (see internal/lint).
 //
 // Usage:
 //
-//	go run ./cmd/spvet ./...            # analyze every non-test package
-//	go run ./cmd/spvet ./internal/...   # a subtree
-//	go run ./cmd/spvet -checks          # list registered checks
+//	go run ./cmd/spvet ./...                              # analyze every non-test package
+//	go run ./cmd/spvet ./internal/...                     # a subtree
+//	go run ./cmd/spvet -checks                            # list registered checks
+//	go run ./cmd/spvet -json ./...                        # machine-readable findings
+//	go run ./cmd/spvet -baseline .spvet-baseline.json ./...
+//	go run ./cmd/spvet -baseline b.json -write-baseline ./...
 //
-// Findings print as "file:line: [check] message"; the exit status is 1 when
-// anything is found, 2 on analysis errors, 0 on a clean tree.
+// Findings print as "file:line: [check] message". With -baseline, findings
+// recorded in the baseline file are tolerated (reported but not gating);
+// baseline entries claiming findings in simulation packages are rejected.
+// The exit status is 1 when any fresh error-severity finding remains, 2 on
+// analysis errors, 0 otherwise.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,8 +29,31 @@ import (
 	"spcoh/internal/lint"
 )
 
+// jsonFinding is one finding in -json output. Baselined findings are
+// included (marked) so tooling sees the full picture; the exit status only
+// reflects fresh errors.
+type jsonFinding struct {
+	File      string `json:"file"`
+	Line      int    `json:"line"`
+	Check     string `json:"check"`
+	Severity  string `json:"severity"`
+	Msg       string `json:"msg"`
+	Baselined bool   `json:"baselined,omitempty"`
+}
+
+// jsonReport is the top-level -json document.
+type jsonReport struct {
+	Findings  []jsonFinding `json:"findings"`
+	NewErrors int           `json:"new_errors"`
+	NewWarns  int           `json:"new_warns"`
+	Baselined int           `json:"baselined"`
+}
+
 func main() {
 	listChecks := flag.Bool("checks", false, "list registered checks and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON on stdout")
+	baselineFile := flag.String("baseline", "", "baseline file of tolerated findings")
+	writeBaseline := flag.Bool("write-baseline", false, "rewrite -baseline from the current findings and exit")
 	flag.Parse()
 
 	if *listChecks {
@@ -30,7 +62,11 @@ func main() {
 			if c.SimOnly {
 				scope = "simulation packages"
 			}
-			fmt.Printf("%-12s (%s)\n    %s\n", c.Name, scope, c.Doc)
+			unit := "per package"
+			if c.RunModule != nil {
+				unit = "whole module"
+			}
+			fmt.Printf("%-12s %-5s (%s, %s)\n    %s\n", c.Name, c.Severity, scope, unit, c.Doc)
 		}
 		return
 	}
@@ -45,25 +81,92 @@ func main() {
 		fmt.Fprintln(os.Stderr, "spvet:", err)
 		os.Exit(2)
 	}
-	a := &lint.Analyzer{
-		ModRoot: root,
-		ModPath: modPath,
-		// Simulation packages — code the DES drives, which must replay
-		// bit-identically — are everything under internal/ except the
-		// analyzer itself and the sweep orchestrator (see
-		// lint.DefaultIsSim for the rationale).
-		IsSim: lint.DefaultIsSim(modPath),
-	}
+	// Simulation packages — code the DES drives, which must replay
+	// bit-identically — are everything under internal/ except the analyzer
+	// itself and the sweep orchestrator (see lint.DefaultIsSim).
+	isSim := lint.DefaultIsSim(modPath)
+	a := &lint.Analyzer{ModRoot: root, ModPath: modPath, IsSim: isSim}
 	findings, err := a.Run(args...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spvet:", err)
 		os.Exit(2)
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+
+	if *writeBaseline {
+		if *baselineFile == "" {
+			fmt.Fprintln(os.Stderr, "spvet: -write-baseline requires -baseline <file>")
+			os.Exit(2)
+		}
+		if err := lint.WriteBaseline(*baselineFile, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "spvet:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "spvet: wrote %d finding(s) to %s\n", len(findings), *baselineFile)
+		return
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "spvet: %d finding(s)\n", len(findings))
+
+	fresh, baselined := findings, []lint.Finding(nil)
+	if *baselineFile != "" {
+		b, err := lint.LoadBaseline(*baselineFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spvet:", err)
+			os.Exit(2)
+		}
+		if err := b.Validate(modPath, isSim); err != nil {
+			fmt.Fprintln(os.Stderr, "spvet:", err)
+			os.Exit(2)
+		}
+		fresh, baselined = b.Partition(findings)
+	}
+
+	newErrors, newWarns := 0, 0
+	for _, f := range fresh {
+		if f.Severity == lint.SevWarn {
+			newWarns++
+		} else {
+			newErrors++
+		}
+	}
+
+	if *jsonOut {
+		rep := jsonReport{
+			Findings:  []jsonFinding{},
+			NewErrors: newErrors,
+			NewWarns:  newWarns,
+			Baselined: len(baselined),
+		}
+		emit := func(f lint.Finding, base bool) {
+			rep.Findings = append(rep.Findings, jsonFinding{
+				File: f.Pos.Filename, Line: f.Pos.Line,
+				Check: f.Check, Severity: string(f.Severity), Msg: f.Msg,
+				Baselined: base,
+			})
+		}
+		for _, f := range fresh {
+			emit(f, false)
+		}
+		for _, f := range baselined {
+			emit(f, true)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "spvet:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range fresh {
+			fmt.Println(f)
+		}
+		for _, f := range baselined {
+			fmt.Printf("%s (baselined)\n", f)
+		}
+	}
+	if len(fresh) > 0 || len(baselined) > 0 {
+		fmt.Fprintf(os.Stderr, "spvet: %d new error(s), %d new warning(s), %d baselined\n",
+			newErrors, newWarns, len(baselined))
+	}
+	if newErrors > 0 {
 		os.Exit(1)
 	}
 }

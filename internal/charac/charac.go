@@ -84,6 +84,9 @@ func Analyze(events []*trace.Event, nodes int) *Analysis {
 				a.staticLock[e.StaticID] = true
 			case predictor.SyncBarrier, predictor.SyncJoin, predictor.SyncWakeup, predictor.SyncBroadcast:
 				a.staticBarrier[e.StaticID] = true
+			case predictor.SyncUnlock:
+				// A release classifies nothing: the matching SyncLock
+				// already marked this static ID as lock-kind.
 			}
 			key := [2]uint64{uint64(e.Node), e.StaticID}
 			inst := instances[key]

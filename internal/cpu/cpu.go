@@ -81,6 +81,8 @@ func (c *Core) Start() { c.step() }
 // coreStep is the pre-bound form of (*Core).step for event.AfterFn: the
 // compute-op path schedules it with the core itself as argument,
 // allocation-free.
+//
+//spcoh:noalloc
 func coreStep(a any) { a.(*Core).step() }
 
 // step executes the next op; every path reschedules asynchronously via the

@@ -95,6 +95,7 @@ func (h farHeap) less(i, j int) bool {
 	return h[i].seq < h[j].seq
 }
 
+//spcoh:noalloc
 func (h *farHeap) push(e farEv) {
 	*h = append(*h, e)
 	q := *h
@@ -109,6 +110,7 @@ func (h *farHeap) push(e farEv) {
 	}
 }
 
+//spcoh:noalloc
 func (h *farHeap) pop() farEv {
 	q := *h
 	top := q[0]
@@ -170,19 +172,28 @@ func (s *Sim) Now() Time { return s.now }
 // At schedules fn to run at absolute time t. Scheduling in the past (t <
 // Now) is a programming error and fires the event at the current time
 // instead, preserving monotonicity.
+//
+//spcoh:noalloc
 func (s *Sim) At(t Time, fn Func) { s.schedule(t, ev{fn: fn}) }
 
 // AtFn schedules fn(arg) at absolute time t. Semantics match At; the
 // pre-bound form exists so hot call sites need not allocate a closure per
 // schedule (pass a pointer as arg to stay allocation-free end to end).
+//
+//spcoh:noalloc
 func (s *Sim) AtFn(t Time, fn ArgFunc, arg any) { s.schedule(t, ev{pfn: fn, arg: arg}) }
 
 // After schedules fn to run d cycles from now.
+//
+//spcoh:noalloc
 func (s *Sim) After(d Time, fn Func) { s.schedule(s.now+d, ev{fn: fn}) }
 
 // AfterFn schedules fn(arg) to run d cycles from now.
+//
+//spcoh:noalloc
 func (s *Sim) AfterFn(d Time, fn ArgFunc, arg any) { s.schedule(s.now+d, ev{pfn: fn, arg: arg}) }
 
+//spcoh:noalloc
 func (s *Sim) schedule(t Time, e ev) {
 	if t < s.now {
 		t = s.now
@@ -209,6 +220,8 @@ func (s *Sim) Pending() int { return s.ringCnt + len(s.far) }
 
 // scanRing returns the cycle of the earliest ring event, advancing cursor
 // past drained buckets. It must only be called when ringCnt > 0.
+//
+//spcoh:noalloc
 func (s *Sim) scanRing() Time {
 	if s.cursor < s.now {
 		s.cursor = s.now
@@ -243,6 +256,8 @@ func (s *Sim) NextTime() (Time, bool) {
 // drains before the ring: heap events for a cycle are always scheduled
 // earlier than ring events for it (see the package comment), so this is
 // exactly FIFO order.
+//
+//spcoh:noalloc
 func (s *Sim) pop() (ev, Time, bool) {
 	var ringT Time
 	hasRing := s.ringCnt > 0
@@ -272,6 +287,8 @@ func (s *Sim) pop() (ev, Time, bool) {
 
 // Step fires the next event, advancing the clock to its timestamp. It
 // reports false if no events remain.
+//
+//spcoh:noalloc
 func (s *Sim) Step() bool {
 	e, when, ok := s.pop()
 	if !ok {

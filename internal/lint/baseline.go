@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path"
+	"sort"
+)
+
+// BaselineVersion is the schema version of the baseline file.
+const BaselineVersion = 1
+
+// BaselineEntry identifies one tolerated legacy finding. Line numbers are
+// deliberately absent: baselines must survive unrelated edits to the file,
+// so entries match on (file, check, message) only.
+type BaselineEntry struct {
+	File  string `json:"file"`
+	Check string `json:"check"`
+	Msg   string `json:"msg"`
+}
+
+// Baseline is a checked-in set of tolerated legacy findings: matching
+// findings are reported but do not fail the build; anything new does.
+// Simulation packages are required to have an empty baseline (Validate).
+type Baseline struct {
+	Version int             `json:"version"`
+	Entries []BaselineEntry `json:"findings"`
+}
+
+// LoadBaseline reads a baseline file.
+func LoadBaseline(file string) (*Baseline, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", file, err)
+	}
+	if b.Version != BaselineVersion {
+		return nil, fmt.Errorf("lint: baseline %s: unsupported version %d (want %d)", file, b.Version, BaselineVersion)
+	}
+	return &b, nil
+}
+
+// WriteBaseline writes findings as a baseline file (entries sorted, one
+// entry per finding occurrence).
+func WriteBaseline(file string, findings []Finding) error {
+	b := &Baseline{Version: BaselineVersion}
+	b.Entries = make([]BaselineEntry, 0, len(findings))
+	for _, f := range findings {
+		b.Entries = append(b.Entries, entryOf(f))
+	}
+	sort.Slice(b.Entries, func(i, j int) bool { return b.Entries[i].less(b.Entries[j]) })
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(file, append(data, '\n'), 0o644)
+}
+
+func entryOf(f Finding) BaselineEntry {
+	return BaselineEntry{File: f.Pos.Filename, Check: f.Check, Msg: f.Msg}
+}
+
+func (e BaselineEntry) less(o BaselineEntry) bool {
+	if e.File != o.File {
+		return e.File < o.File
+	}
+	if e.Check != o.Check {
+		return e.Check < o.Check
+	}
+	return e.Msg < o.Msg
+}
+
+// Partition splits findings into fresh ones and ones covered by the
+// baseline. The baseline is a multiset: each entry absorbs one finding, so a
+// second occurrence of a baselined diagnostic is still fresh.
+func (b *Baseline) Partition(findings []Finding) (fresh, baselined []Finding) {
+	budget := make(map[BaselineEntry]int, len(b.Entries))
+	for _, e := range b.Entries {
+		budget[e]++
+	}
+	for _, f := range findings {
+		e := entryOf(f)
+		if budget[e] > 0 {
+			budget[e]--
+			baselined = append(baselined, f)
+		} else {
+			fresh = append(fresh, f)
+		}
+	}
+	return fresh, baselined
+}
+
+// Validate enforces the empty-sim-baseline policy: no entry may tolerate a
+// finding inside a simulation package (per isSim over the entry's package
+// import path, derived from its file's directory under modPath).
+func (b *Baseline) Validate(modPath string, isSim func(importPath string) bool) error {
+	if isSim == nil {
+		return nil
+	}
+	for _, e := range b.Entries {
+		dir := path.Dir(path.Clean(e.File))
+		importPath := modPath
+		if dir != "." {
+			importPath = modPath + "/" + dir
+		}
+		if isSim(importPath) {
+			return fmt.Errorf("lint: baseline entry for simulation package %s (%s [%s]); sim packages must have an empty baseline — fix the code instead", importPath, e.File, e.Check)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+func init() {
+	Register(Check{
+		Name: "exhaustive",
+		Doc: "switches over module-declared integer enum types (protocol.MsgKind, " +
+			"cache.State, predictor sync/miss kinds, ...) must cover every declared " +
+			"constant or carry an explicit default clause",
+		Run: checkExhaustive,
+	})
+}
+
+// checkExhaustive enforces enum-switch exhaustiveness. An enum family is a
+// named integer type declared in the analyzed module with at least two
+// package-level constants of exactly that type; a switch whose tag has such
+// a type must either list every constant value or have a default clause.
+// Switches with non-constant case expressions are skipped (no finite cover
+// to verify); stdlib enums (token.Token, ...) are out of scope.
+func checkExhaustive(p *Pass) {
+	modPath := p.analyzer.ModPath
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			named, ok := p.TypeOf(sw.Tag).(*types.Named)
+			if !ok {
+				return true
+			}
+			obj := named.Obj()
+			if obj == nil || obj.Pkg() == nil || !inModule(obj.Pkg().Path(), modPath) {
+				return true
+			}
+			basic, ok := named.Underlying().(*types.Basic)
+			if !ok || basic.Info()&types.IsInteger == 0 {
+				return true
+			}
+			family := enumConstants(obj.Pkg(), named)
+			if len(family) < 2 {
+				return true
+			}
+			covered := make(map[int64]bool)
+			for _, clause := range sw.Body.List {
+				cc := clause.(*ast.CaseClause)
+				if cc.List == nil {
+					return true // explicit default: exhaustive by construction
+				}
+				for _, e := range cc.List {
+					tv, ok := p.Pkg.Info.Types[e]
+					if !ok || tv.Value == nil {
+						return true // non-constant case: no finite cover to check
+					}
+					if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
+						covered[v] = true
+					}
+				}
+			}
+			var missing []string
+			seen := make(map[int64]bool)
+			for _, c := range family {
+				if !covered[c.val] && !seen[c.val] {
+					seen[c.val] = true
+					missing = append(missing, c.name)
+				}
+			}
+			if len(missing) > 0 {
+				p.Report(sw.Switch, "exhaustive", fmt.Sprintf(
+					"switch over %s is not exhaustive: missing %s (add the cases or an explicit default)",
+					typeName(named, p.Pkg.Types), strings.Join(missing, ", ")))
+			}
+			return true
+		})
+	}
+}
+
+func inModule(pkgPath, modPath string) bool {
+	return pkgPath == modPath || strings.HasPrefix(pkgPath, modPath+"/")
+}
+
+type enumConst struct {
+	name string
+	val  int64
+}
+
+// enumConstants returns the package-level constants of exactly type named,
+// sorted by value then name (so diagnostics list members in declaration
+// value order, deterministically).
+func enumConstants(pkg *types.Package, named *types.Named) []enumConst {
+	var out []enumConst
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		if v, exact := constant.Int64Val(constant.ToInt(c.Val())); exact {
+			out = append(out, enumConst{name: name, val: v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].val != out[j].val {
+			return out[i].val < out[j].val
+		}
+		return out[i].name < out[j].name
+	})
+	return out
+}
+
+// typeName renders a type for diagnostics: package-qualified unless declared
+// in the package under analysis.
+func typeName(named *types.Named, in *types.Package) string {
+	obj := named.Obj()
+	if obj.Pkg() == in {
+		return obj.Name()
+	}
+	return obj.Pkg().Name() + "." + obj.Name()
+}

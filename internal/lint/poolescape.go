@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+func init() {
+	Register(Check{
+		Name: "poolescape",
+		Doc: "pointers to //spcoh:pooled record types must not be stored past " +
+			"their callback: no package-level variables, struct fields, " +
+			"container elements, composite literals, or closure captures; " +
+			"locals, call arguments, returns and append onto a freelist " +
+			"([]*T) are the sanctioned uses",
+		Run: checkPoolEscape,
+	})
+}
+
+// checkPoolEscape enforces the freelist discipline of DESIGN.md §11: a
+// pooled record is acquired, rides the event queue as a callback argument,
+// and is pushed back onto its pool — any store that could outlive the
+// callback would let the pool recycle a record that is still referenced.
+func checkPoolEscape(p *Pass) {
+	pooled := pooledTypes(p)
+	if len(pooled) == 0 {
+		return
+	}
+	isPooledPtr := func(t types.Type) *types.Named {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			return nil
+		}
+		named, _ := ptr.Elem().(*types.Named)
+		if named != nil && pooled[named.Obj()] {
+			return named
+		}
+		return nil
+	}
+	report := func(pos ast.Node, named *types.Named, where string) {
+		p.Report(pos.Pos(), "poolescape", fmt.Sprintf(
+			"pooled record *%s stored in %s; pooled records must not outlive their callback (the pool would recycle a live record)",
+			named.Obj().Name(), where))
+	}
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ValueSpec:
+				// Package-level variables of pooled pointer type are escape
+				// hatches by construction.
+				for _, name := range n.Names {
+					obj, ok := p.Pkg.Info.Defs[name].(*types.Var)
+					if !ok || obj.Parent() != p.Pkg.Types.Scope() {
+						continue
+					}
+					if named := isPooledPtr(obj.Type()); named != nil {
+						report(name, named, "a package-level variable")
+					}
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					named := isPooledPtr(p.TypeOf(lhs))
+					if named == nil {
+						continue
+					}
+					switch lhs := ast.Unparen(lhs).(type) {
+					case *ast.Ident:
+						if obj, ok := p.Pkg.Info.Uses[lhs].(*types.Var); ok && obj.Parent() == p.Pkg.Types.Scope() {
+							report(lhs, named, "package-level variable "+lhs.Name)
+						}
+					case *ast.SelectorExpr:
+						if obj, ok := p.Pkg.Info.Uses[lhs.Sel].(*types.Var); ok {
+							if obj.IsField() {
+								report(lhs, named, "struct field "+lhs.Sel.Name)
+							} else if obj.Parent() != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+								report(lhs, named, "package-level variable "+lhs.Sel.Name)
+							}
+						}
+					case *ast.IndexExpr:
+						report(lhs, named, "a container element")
+					case *ast.StarExpr:
+						report(lhs, named, "a pointer target")
+					}
+				}
+			case *ast.CompositeLit:
+				lt := p.TypeOf(n)
+				if lt != nil {
+					if slice, ok := lt.Underlying().(*types.Slice); ok && isPooledPtr(slice.Elem()) != nil {
+						return true // freelist initialization: []*T{...}
+					}
+				}
+				for _, elt := range n.Elts {
+					v := elt
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						v = kv.Value
+					}
+					if named := isPooledPtr(p.TypeOf(v)); named != nil {
+						report(v, named, "a composite literal")
+					}
+				}
+			case *ast.CallExpr:
+				id, ok := ast.Unparen(n.Fun).(*ast.Ident)
+				if !ok || id.Name != "append" {
+					return true
+				}
+				if _, ok := p.Pkg.Info.Uses[id].(*types.Builtin); !ok {
+					return true
+				}
+				var elem types.Type
+				if slice, ok := p.TypeOf(n).Underlying().(*types.Slice); ok {
+					elem = slice.Elem()
+				}
+				for _, arg := range n.Args[1:] {
+					named := isPooledPtr(p.TypeOf(arg))
+					if named == nil {
+						continue
+					}
+					if elem == nil || !types.Identical(elem, p.TypeOf(arg)) {
+						report(arg, named, "a non-freelist slice via append")
+					}
+				}
+			case *ast.FuncLit:
+				checkPoolCapture(p, n, isPooledPtr, report)
+			}
+			return true
+		})
+	}
+}
+
+// checkPoolCapture flags closure captures of pooled record pointers: the
+// closure may run (or be stored) after the record returns to its pool.
+func checkPoolCapture(p *Pass, lit *ast.FuncLit, isPooledPtr func(types.Type) *types.Named, report func(ast.Node, *types.Named, string)) {
+	flagged := make(map[*types.Var]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := p.Pkg.Info.Uses[id].(*types.Var)
+		if !ok || flagged[obj] || obj.IsField() {
+			return true
+		}
+		named := isPooledPtr(obj.Type())
+		if named == nil {
+			return true
+		}
+		// Declared inside the literal (parameter or local)?
+		if obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+			return true
+		}
+		// Package-level vars are flagged at their declaration already.
+		if obj.Parent() != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return true
+		}
+		flagged[obj] = true
+		report(id, named, "a closure capture of "+obj.Name())
+		return true
+	})
+}
+
+// pooledTypes returns the object identities of types annotated
+// //spcoh:pooled in the package under analysis.
+func pooledTypes(p *Pass) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if hasMarker(gd.Doc, PooledAnnotation) || hasMarker(ts.Doc, PooledAnnotation) || hasMarker(ts.Comment, PooledAnnotation) {
+					if obj := p.Pkg.Info.Defs[ts.Name]; obj != nil {
+						out[obj] = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}

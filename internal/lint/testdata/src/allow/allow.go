@@ -1,0 +1,30 @@
+// Package allow exercises the suppression directive validator: reasons are
+// mandatory, and directives naming unknown checks are called out.
+package allow
+
+type m map[int]int
+
+// flat carries a malformed suppression (no "-- reason"): the directive is
+// reported and the underlying finding still fires.
+func flat(xs m) []int {
+	var out []int
+	//spvet:allow maprange want:allow
+	for _, v := range xs { // want:maprange
+		out = append(out, v)
+	}
+	return out
+}
+
+// typo'd check names are warned about (the suppression has no effect).
+//
+//spvet:allow nosuchcheck -- reason present, name wrong; surfaces as want:allow
+func unknownCheck() int { return 1 }
+
+// a well-formed allow with a reason suppresses the finding on its line.
+func keys(xs m) []int {
+	out := make([]int, 0, len(xs))
+	for k := range xs { //spvet:allow maprange -- the caller sorts before use
+		out = append(out, k)
+	}
+	return out
+}

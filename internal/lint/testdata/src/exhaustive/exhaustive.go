@@ -1,0 +1,89 @@
+// Package exhaustive exercises the exhaustive check: a switch over a
+// module-declared integer enum must cover every declared constant or carry
+// an explicit default clause.
+package exhaustive
+
+// Kind is an enum family: a named integer type with >= 2 constants.
+type Kind uint8
+
+const (
+	KindA Kind = iota
+	KindB
+	KindC
+)
+
+// KindAlias shares KindC's value; covering the value covers both names.
+const KindAlias = KindC
+
+func missing(k Kind) int {
+	switch k { // want:exhaustive
+	case KindA:
+		return 1
+	case KindB:
+		return 2
+	}
+	return 0
+}
+
+func full(k Kind) int {
+	switch k {
+	case KindA, KindB:
+		return 1
+	case KindC:
+		return 2
+	}
+	return 0
+}
+
+func defaulted(k Kind) int {
+	switch k {
+	case KindA:
+		return 1
+	default: // KindB and KindC deliberately share the fallback
+		return 0
+	}
+}
+
+// nonConstant case expressions leave no finite cover to verify: skipped.
+func nonConstant(k, other Kind) int {
+	switch k {
+	case other:
+		return 1
+	}
+	return 0
+}
+
+func suppressed(k Kind) int {
+	//spvet:allow exhaustive -- KindC is filtered out by every caller
+	switch k {
+	case KindA, KindB:
+		return 1
+	}
+	return 0
+}
+
+// tiny has a single constant: not an enum family, never checked.
+type tiny int
+
+const onlyTiny tiny = 1
+
+func single(t tiny) bool {
+	switch t {
+	case onlyTiny:
+		return true
+	}
+	return false
+}
+
+// untagged and non-enum switches are out of scope.
+func untagged(n int) int {
+	switch {
+	case n > 0:
+		return 1
+	}
+	switch n {
+	case 0:
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,26 @@
+// Package event is a miniature stand-in for the DES engine so the obspure
+// fixture can exercise the deny list against real scheduling APIs.
+package event
+
+// Time is the simulated clock.
+type Time int64
+
+// Sim is the mini event loop.
+type Sim struct {
+	now Time
+	obs func(now Time, depth int)
+	q   []func()
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() Time { return s.now }
+
+// At schedules fn; calling it from an observer is a purity violation.
+func (s *Sim) At(t Time, fn func()) {
+	s.q = append(s.q, fn)
+}
+
+// SetObserver attaches the per-step observer hook.
+func (s *Sim) SetObserver(obs func(now Time, depth int)) {
+	s.obs = obs
+}

@@ -1,0 +1,21 @@
+// Package protocol is a miniature stand-in for the coherence protocol: it
+// declares the Obs hook struct the obspure check keys its second root
+// family on.
+package protocol
+
+import "fix/internal/event"
+
+// Obs carries the metrics hooks of the mini protocol.
+type Obs struct {
+	Message func(bytes int)
+	Miss    func(lat event.Time)
+}
+
+// System owns the hooks.
+type System struct {
+	Sim *event.Sim
+	obs *Obs
+}
+
+// SetObserver attaches (or detaches) the metrics hooks.
+func (s *System) SetObserver(o *Obs) { s.obs = o }

@@ -1,0 +1,58 @@
+// Package noalloc exercises the noalloc check: functions annotated
+// //spcoh:noalloc must produce no escape-analysis heap diagnostics.
+package noalloc
+
+type rec struct {
+	id int
+	fn func() int
+}
+
+var sink *rec
+
+// escapes leaks a stack value; the compiler moves it to the heap.
+//
+//spcoh:noalloc
+func escapes() *int {
+	x := 42 // want:noalloc
+	return &x
+}
+
+// closure allocates a capturing func literal on the heap.
+//
+//spcoh:noalloc
+func closure(n int) func() int {
+	return func() int { return n } // want:noalloc
+}
+
+// stores publishes a record through a global.
+//
+//spcoh:noalloc
+func stores(id int) {
+	sink = &rec{id: id} // want:noalloc
+}
+
+// clean is genuinely allocation-free: stack arithmetic only.
+//
+//spcoh:noalloc
+func clean(a, b int) int {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// refill models a cold-path pool refill inside a hot function: the
+// allocation is acknowledged inline.
+//
+//spcoh:noalloc
+func refill(pool []*rec) ([]*rec, *rec) {
+	if k := len(pool); k > 0 {
+		return pool[:k-1], pool[k-1]
+	}
+	return pool, &rec{} //spvet:allow noalloc -- cold-path pool refill, amortized away
+}
+
+// unannotated functions may allocate freely.
+func unannotated() *rec {
+	return &rec{id: 1}
+}

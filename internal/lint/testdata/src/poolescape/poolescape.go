@@ -1,0 +1,63 @@
+// Package poolescape exercises the poolescape check: pointers to pooled
+// record types must not be stored anywhere that can outlive their callback.
+package poolescape
+
+// rec is a pooled scheduling record.
+//
+//spcoh:pooled
+type rec struct {
+	v int
+}
+
+// pool is the freelist: a []*rec slice fed by append, the sanctioned store.
+var pool []*rec
+
+var leakGlobal *rec // want:poolescape
+
+type holder struct {
+	r *rec
+}
+
+func get() *rec {
+	if k := len(pool); k > 0 {
+		r := pool[k-1]
+		pool = pool[:k-1]
+		return r
+	}
+	return &rec{}
+}
+
+func put(r *rec) {
+	pool = append(pool, r)
+}
+
+func leaks(h *holder, m map[int]*rec, s []*rec, r *rec) {
+	h.r = r          // want:poolescape
+	m[0] = r         // want:poolescape
+	s[0] = r         // want:poolescape
+	leakGlobal = r   // want:poolescape
+	_ = holder{r: r} // want:poolescape
+}
+
+var sink []any
+
+func anyAppend(r *rec) {
+	sink = append(sink, r) // want:poolescape
+}
+
+func captures(r *rec) func() int {
+	return func() int { return r.v } // want:poolescape
+}
+
+// passing records as call arguments and returning them is the normal
+// life cycle (ride the event queue, come back to the pool).
+func allowedUses(r *rec) *rec {
+	put(r)
+	local := r
+	return local
+}
+
+// ownership transfer acknowledged inline: suppressed, not reported.
+func transfer(h *holder, r *rec) {
+	h.r = r //spvet:allow poolescape -- ownership transferred; holder frees it
+}

@@ -22,6 +22,15 @@ func reference() func() time.Time {
 	return time.Now // want:wallclock
 }
 
+// timers: every host-timer constructor is as non-deterministic as reading
+// the clock directly.
+func timers() (*time.Timer, *time.Ticker, <-chan time.Time) {
+	t := time.NewTimer(time.Millisecond)  // want:wallclock
+	k := time.NewTicker(time.Millisecond) // want:wallclock
+	a := time.After(time.Millisecond)     // want:wallclock
+	return t, k, a
+}
+
 func globalRand(n int) int {
 	rand.Shuffle(n, func(i, j int) {}) // want:wallclock
 	return rand.Intn(n)                // want:wallclock

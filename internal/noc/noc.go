@@ -92,12 +92,15 @@ type Observer interface {
 // Broadcast: deliverNode unpacks it, returns it to the network's freelist,
 // and invokes fn(d) — so fanning out to k endpoints allocates nothing in
 // steady state.
+//
+//spcoh:pooled
 type nodeCb struct {
 	net *Network
 	fn  func(arch.NodeID)
 	d   arch.NodeID
 }
 
+//spcoh:noalloc
 func deliverNode(a any) {
 	c := a.(*nodeCb)
 	net, fn, d := c.net, c.fn, c.d
@@ -255,6 +258,8 @@ func (n *Network) Flits(payloadBytes int) int {
 // occupyLink claims directed link l for a packet whose head flit reaches it
 // at head, serializing for ser cycles, accounting stall and occupancy, and
 // returns the head-flit time after the link's wire and the next router.
+//
+//spcoh:noalloc
 func (n *Network) occupyLink(l int, head, ser event.Time) event.Time {
 	if n.busyUntil[l] > head {
 		stall := n.busyUntil[l] - head
@@ -276,15 +281,17 @@ func (n *Network) occupyLink(l int, head, ser event.Time) event.Time {
 // — at the arrival cycle. The pre-bound form goes through the event queue
 // with no allocation; the observer path wraps in a closure, a cost only
 // instrumented runs pay.
+//
+//spcoh:noalloc
 func (n *Network) deliverAt(arrival, lat event.Time, fn func(), pfn event.ArgFunc, arg any) {
 	n.stats.Deliveries++
 	n.stats.TotalLat += uint64(lat)
 	if n.obs != nil {
 		obs := n.obs
 		if pfn != nil {
-			n.sim.At(arrival, func() { obs.Deliver(lat); pfn(arg) })
+			n.sim.At(arrival, func() { obs.Deliver(lat); pfn(arg) }) //spvet:allow noalloc -- observer wrap: a cost only instrumented runs pay
 		} else {
-			n.sim.At(arrival, func() { obs.Deliver(lat); fn() })
+			n.sim.At(arrival, func() { obs.Deliver(lat); fn() }) //spvet:allow noalloc -- observer wrap: a cost only instrumented runs pay
 		}
 		return
 	}
@@ -298,16 +305,21 @@ func (n *Network) deliverAt(arrival, lat event.Time, fn func(), pfn event.ArgFun
 // Send injects a packet of payloadBytes from src to dst and schedules
 // deliver at the arrival time. Local delivery (src == dst) costs a fixed
 // router traversal. Send accounts all bandwidth/energy statistics.
+//
+//spcoh:noalloc
 func (n *Network) Send(src, dst arch.NodeID, payloadBytes int, deliver func()) {
 	n.send(src, dst, payloadBytes, deliver, nil, nil)
 }
 
 // SendFn is Send with a pre-bound delivery callback: fn(arg) runs at the
 // arrival time. With a pointer-shaped arg the injection allocates nothing.
+//
+//spcoh:noalloc
 func (n *Network) SendFn(src, dst arch.NodeID, payloadBytes int, fn event.ArgFunc, arg any) {
 	n.send(src, dst, payloadBytes, nil, fn, arg)
 }
 
+//spcoh:noalloc
 func (n *Network) send(src, dst arch.NodeID, payloadBytes int, deliver func(), pfn event.ArgFunc, arg any) {
 	now := n.sim.Now()
 	flits := n.Flits(payloadBytes)
@@ -357,8 +369,10 @@ func (n *Network) putNodeCb(c *nodeCb) {
 // deliver(node) at each arrival. Replication happens at the source (no
 // in-network multicast trees), matching the paper's multicast cost model
 // for *predicted* requests, which target a handful of nodes.
+//
+//spcoh:noalloc
 func (n *Network) Multicast(src arch.NodeID, dsts arch.SharerSet, payloadBytes int, deliver func(arch.NodeID)) {
-	dsts.ForEach(func(d arch.NodeID) {
+	dsts.ForEach(func(d arch.NodeID) { //spvet:allow noalloc -- inlined getNodeCb: cold-path freelist refill
 		n.send(src, d, payloadBytes, nil, deliverNode, n.getNodeCb(deliver, d))
 	})
 }
@@ -369,6 +383,8 @@ func (n *Network) Multicast(src arch.NodeID, dsts arch.SharerSet, payloadBytes i
 // fabric the paper assumes for its snooping comparison (§5.1); source-side
 // replication would serialize 15 packets through one injection port and
 // unfairly penalize broadcast.
+//
+//spcoh:noalloc
 func (n *Network) Broadcast(src arch.NodeID, dsts arch.SharerSet, payloadBytes int, deliver func(arch.NodeID)) {
 	now := n.sim.Now()
 	flits := n.Flits(payloadBytes)
@@ -376,7 +392,7 @@ func (n *Network) Broadcast(src arch.NodeID, dsts arch.SharerSet, payloadBytes i
 	n.bcEpoch++
 	n.stats.Packets++
 	n.stats.Bytes += uint64(flits * n.cfg.FlitBytes)
-	dsts.ForEach(func(d arch.NodeID) {
+	dsts.ForEach(func(d arch.NodeID) { //spvet:allow noalloc -- inlined getNodeCb: cold-path freelist refill
 		if d == src {
 			// Loopback is a delivery like any other: it costs the local
 			// router traversal and is counted in Deliveries/TotalLat

@@ -127,12 +127,15 @@ func (d *DirSlice) drain(e *dirLine, l arch.LineAddr) {
 
 // dirGet is the pooled binding of a directory access in flight (startGet's
 // DirLatency delay).
+//
+//spcoh:pooled
 type dirGet struct {
 	d *DirSlice
 	e *dirLine
 	m Msg
 }
 
+//spcoh:noalloc
 func fireDirGet(a any) {
 	g := a.(*dirGet)
 	d, e, m := g.d, g.e, g.m
@@ -168,6 +171,8 @@ func (d *DirSlice) reply(m Msg) {
 
 // memFetch is the pooled binding of a memory round trip launched by
 // memData.
+//
+//spcoh:pooled
 type memFetch struct {
 	d    *DirSlice
 	m    Msg
@@ -175,6 +180,7 @@ type memFetch struct {
 	acks int
 }
 
+//spcoh:noalloc
 func fireMemFetch(a any) {
 	f := a.(*memFetch)
 	d, m, excl, acks := f.d, f.m, f.excl, f.acks
@@ -213,6 +219,8 @@ func (d *DirSlice) processGetS(e *dirLine, m Msg) {
 		supplier = e.owner
 	case dirS:
 		supplier = e.fwd
+	case dirU:
+		// Unowned: no on-chip holder exists, memory supplies the line.
 	}
 	communicating := supplier != arch.None && supplier != req
 	sufficient := communicating && m.Pred.Contains(supplier)

@@ -301,6 +301,8 @@ func (n *Node) miss(pc uint64, line arch.LineAddr, kind predictor.MissKind, done
 
 // missIssue is the pooled binding of a miss-detection delay: one record per
 // L2 miss rides the event queue instead of a four-capture closure.
+//
+//spcoh:pooled
 type missIssue struct {
 	n    *Node
 	pc   uint64
@@ -319,6 +321,7 @@ func (s *System) getMissIssue(n *Node, pc uint64, line arch.LineAddr, kind predi
 	return &missIssue{n: n, pc: pc, line: line, kind: kind, done: done}
 }
 
+//spcoh:noalloc
 func fireMissIssue(a any) {
 	r := a.(*missIssue)
 	n, pc, line, kind, done := r.n, r.pc, r.line, r.kind, r.done
@@ -752,6 +755,8 @@ func (n *Node) evict(v cache.Victim) {
 		kind = MsgPutM
 	case cache.Exclusive, cache.Forward:
 		kind = MsgPutE
+	case cache.Shared, cache.Invalid:
+		// Shared keeps the preset PutS; Insert never yields an Invalid victim.
 	}
 	n.send(Msg{Kind: kind, Dst: n.sys.Home(v.Addr), Line: v.Addr, Requester: n.self})
 }

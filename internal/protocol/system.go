@@ -100,6 +100,8 @@ type System struct {
 // delivery carries one in-flight message through the scheduler. A record is
 // acquired at send time, optionally parked through a source-side delay
 // (sendAfter), injected into the NoC, and released at dispatch.
+//
+//spcoh:pooled
 type delivery struct {
 	s    *System
 	m    Msg
@@ -118,6 +120,8 @@ func (s *System) getDelivery(m Msg) *delivery {
 
 // deliverMsg fires at NoC arrival: it frees the record first (Msg is all
 // scalars, and dispatch may recursively send) and then dispatches.
+//
+//spcoh:noalloc
 func deliverMsg(a any) {
 	d := a.(*delivery)
 	s, m, sent := d.s, d.m, d.sent
@@ -129,6 +133,8 @@ func deliverMsg(a any) {
 }
 
 // transmitMsg fires when a sendAfter source-side delay elapses.
+//
+//spcoh:noalloc
 func transmitMsg(a any) {
 	d := a.(*delivery)
 	d.s.transmit(d)
@@ -180,16 +186,21 @@ func (s *System) Home(l arch.LineAddr) arch.NodeID {
 }
 
 // send routes a message over the NoC and dispatches it on arrival.
-func (s *System) send(m Msg) { s.transmit(s.getDelivery(m)) }
+//
+//spcoh:noalloc
+func (s *System) send(m Msg) { s.transmit(s.getDelivery(m)) } //spvet:allow noalloc -- inlined getDelivery: cold-path freelist refill
 
+//spcoh:noalloc
 func (s *System) transmit(d *delivery) {
 	d.sent = s.Sim.Now()
 	s.Net.SendFn(d.m.Src, d.m.Dst, d.m.Kind.Bytes(), deliverMsg, d)
 }
 
 // sendAfter routes a message after a local processing delay at the source.
+//
+//spcoh:noalloc
 func (s *System) sendAfter(d event.Time, m Msg) {
-	s.Sim.AfterFn(d, transmitMsg, s.getDelivery(m))
+	s.Sim.AfterFn(d, transmitMsg, s.getDelivery(m)) //spvet:allow noalloc -- inlined getDelivery: cold-path freelist refill
 }
 
 func (s *System) dispatch(m Msg) {

@@ -67,6 +67,8 @@ type System struct {
 
 // snoopResp is the pooled binding of one snoop response: the responder's
 // local lookup delay, then the network flight back to the requester.
+//
+//spcoh:pooled
 type snoopResp struct {
 	n         *Node // responder
 	t         *txn
@@ -77,6 +79,8 @@ type snoopResp struct {
 
 // respLaunch fires when the responder's L2 lookup latency elapses and
 // injects the response packet.
+//
+//spcoh:noalloc
 func respLaunch(a any) {
 	r := a.(*snoopResp)
 	s := r.n.sys
@@ -86,6 +90,8 @@ func respLaunch(a any) {
 
 // respArrive fires at the requester: it frees the record, updates the
 // transaction and re-checks completion.
+//
+//spcoh:noalloc
 func respArrive(a any) {
 	r := a.(*snoopResp)
 	s := r.n.sys
@@ -251,6 +257,8 @@ func (n *Node) miss(line arch.LineAddr, kind predictor.MissKind, done func()) {
 
 // arbJoin fires when miss detection completes: the transaction joins the
 // per-line arbitration queue and broadcasts if it is the head.
+//
+//spcoh:noalloc
 func arbJoin(a any) {
 	t := a.(*txn)
 	n := t.node
@@ -286,6 +294,8 @@ func (n *Node) broadcast(t *txn) {
 
 // localMemFetch completes a requester-is-home speculative fetch: the data
 // is local, so no packet flies.
+//
+//spcoh:noalloc
 func localMemFetch(a any) {
 	t := a.(*txn)
 	if !t.data && !t.memData && t.done != nil {
@@ -307,6 +317,8 @@ func (n *Node) speculativeFetch(t *txn) {
 
 // specFetchLaunch fires when the home's memory round trip completes and
 // sends the data unless a cache answered first.
+//
+//spcoh:noalloc
 func specFetchLaunch(a any) {
 	t := a.(*txn)
 	if t.data || t.memData || t.done == nil {
@@ -318,6 +330,8 @@ func specFetchLaunch(a any) {
 }
 
 // specDataArrive fires at the requester with the home's memory data.
+//
+//spcoh:noalloc
 func specDataArrive(a any) {
 	t := a.(*txn)
 	s := t.node.sys

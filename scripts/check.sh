@@ -5,8 +5,14 @@
 #   gofmt -l      formatting
 #   go vet        stock correctness vet
 #   go build      compilation
-#   spvet         determinism lint (internal/lint): maprange, wallclock,
-#                 goroutine, floatorder
+#   spvet         invariant analysis (internal/lint): maprange, wallclock,
+#                 goroutine, floatorder, exhaustive, noalloc, obspure,
+#                 poolescape, allow — run against the checked-in baseline
+#                 (.spvet-baseline.json, which must stay empty for sim
+#                 packages), plus a -json smoke asserting zero new errors
+#   noalloc gate  the //spcoh:noalloc annotation set must stay consistent
+#                 with the AllocsPerRun ceilings the unit tests enforce
+#                 (TestNoallocAnnotationConsistency)
 #   go test       full unit/integration suite, including the runtime
 #                 determinism harness (TestDeterministicReplay)
 #   go test -race race detector on the packages exercising concurrency-safe
@@ -44,8 +50,20 @@ go vet ./...
 echo "== go build"
 go build ./...
 
-echo "== spvet (determinism lint)"
-go run ./cmd/spvet ./...
+sweepdir=$(mktemp -d)
+trap 'rm -rf "$sweepdir"' EXIT
+
+echo "== spvet (invariant analysis, baseline-gated)"
+go run ./cmd/spvet -baseline .spvet-baseline.json ./...
+go run ./cmd/spvet -baseline .spvet-baseline.json -json ./... > "$sweepdir/spvet.json"
+grep -q '"new_errors": 0' "$sweepdir/spvet.json" || {
+    echo "spvet: -json report has new errors:" >&2
+    cat "$sweepdir/spvet.json" >&2
+    exit 1
+}
+
+echo "== noalloc annotation consistency"
+go test -run TestNoallocAnnotationConsistency -count=1 ./internal/lint
 
 echo "== go test"
 go test ./...
@@ -56,8 +74,6 @@ go test -race ./internal/event ./internal/lint ./internal/sim \
 go test -race -short ./internal/experiments ./internal/sweep
 
 echo "== spsweep smoke (run / resume / status)"
-sweepdir=$(mktemp -d)
-trap 'rm -rf "$sweepdir"' EXIT
 go build -o "$sweepdir/spsweep" ./cmd/spsweep
 "$sweepdir/spsweep" run -bench x264,streamcluster -kinds dir,sp \
     -scales 0.05 -jobs 2 -dir "$sweepdir/store" \
