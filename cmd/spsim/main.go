@@ -5,7 +5,12 @@
 //
 //	spsim -bench ocean -pred sp [-scale 0.2] [-seed 42] [-protocol dir|bcast]
 //	spsim -all -pred sp
+//	spsim -spec scenario.json -pred sp
+//	spscen gen -seed 7 | spsim -spec - -pred sp
 //	spsim -bench ocean -pred sp -metrics-epoch 10000 -metrics-out series.json
+//
+// With -spec the workload comes from a declarative scenario file
+// (internal/scenario; "-" reads stdin) instead of a built-in profile.
 //
 // With -metrics-epoch N the run attaches the run-time metrics collector
 // (internal/metrics) sampling every N cycles and writes the deterministic
@@ -16,6 +21,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -25,10 +31,23 @@ import (
 	"spcoh/internal/event"
 	"spcoh/internal/metrics"
 	"spcoh/internal/predictor"
+	"spcoh/internal/scenario"
 	"spcoh/internal/sim"
 	"spcoh/internal/stats"
 	"spcoh/internal/workload"
 )
+
+// loadSpec reads a scenario spec from a file or, for "-", from stdin.
+func loadSpec(path string) (*scenario.Spec, error) {
+	if path != "-" {
+		return scenario.Load(path)
+	}
+	b, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: read stdin: %w", err)
+	}
+	return scenario.Parse(b)
+}
 
 // writeSeries atomically-ish writes the series (truncate-then-write is fine
 // for a CLI output file).
@@ -77,6 +96,7 @@ func buildPredictors(kind string, nodes int) ([]predictor.Predictor, error) {
 func main() {
 	bench := flag.String("bench", "ocean", "benchmark name")
 	all := flag.Bool("all", false, "run every benchmark")
+	specPath := flag.String("spec", "", `scenario spec file instead of a built-in benchmark ("-" = stdin)`)
 	pred := flag.String("pred", "none", "predictor: none|sp|spfilter|addr|inst|uni")
 	proto := flag.String("protocol", "dir", "protocol: dir|bcast")
 	scale := flag.Float64("scale", 0.2, "workload scale factor")
@@ -123,9 +143,25 @@ func main() {
 		os.Exit(2)
 	}
 
+	var spec *scenario.Spec
+	if *specPath != "" {
+		if *all {
+			fmt.Fprintln(os.Stderr, "spsim: -spec is incompatible with -all")
+			os.Exit(2)
+		}
+		var err error
+		if spec, err = loadSpec(*specPath); err != nil {
+			fmt.Fprintln(os.Stderr, "spsim:", err)
+			os.Exit(1)
+		}
+	}
+
 	names := []string{*bench}
 	if *all {
 		names = workload.Names()
+	}
+	if spec != nil {
+		names = []string{spec.Name}
 	}
 
 	tb := stats.NewTable("spsim: "+*proto+"/"+*pred,
@@ -143,12 +179,20 @@ func main() {
 		failures = append(failures, fmt.Sprintf("%s: %v", name, err))
 	}
 	for _, name := range names {
-		p, err := workload.ByName(name)
+		var prog *workload.Program
+		var err error
+		if spec != nil {
+			prog, err = workload.FromSpec(spec, 16, *scale, *seed)
+		} else {
+			var p workload.Profile
+			if p, err = workload.ByName(name); err == nil {
+				prog, err = p.Program(16, *scale, *seed)
+			}
+		}
 		if err != nil {
 			fail(name, err)
 			continue
 		}
-		prog := p.Build(16, *scale, *seed)
 		opt := sim.DefaultOptions()
 		if *proto == "bcast" {
 			opt.Protocol = sim.Broadcast

@@ -5,10 +5,11 @@
 //
 // Usage:
 //
-//	spsweep run    [-jobs N] [-bench all|a,b] [-kinds eval|all|a,b]
-//	               [-seeds 42,43] [-scales 0.25] [-quick] [-threads 16]
-//	               [-timeout 10m] [-retries 0] [-dir results/sweep]
-//	               [-format table|csv|json] [-summary results/BENCH_sweep.json]
+//	spsweep run    [-jobs N] [-bench all|none|a,b] [-kinds eval|all|a,b]
+//	               [-specs a.json,b.json] [-seeds 42,43] [-scales 0.25]
+//	               [-quick] [-threads 16] [-timeout 10m] [-retries 0]
+//	               [-dir results/sweep] [-format table|csv|json]
+//	               [-summary results/BENCH_sweep.json]
 //	spsweep resume [-jobs N] [-timeout ...] [-retries ...] [-dir ...]
 //	               [-format ...] [-summary ...]       # continue an interrupted sweep
 //	spsweep status [-dir ...]                         # completion state of the store
@@ -31,6 +32,7 @@ import (
 	"syscall"
 
 	"spcoh/internal/experiments"
+	"spcoh/internal/scenario"
 	"spcoh/internal/sim"
 	"spcoh/internal/sweep"
 	"spcoh/internal/workload"
@@ -79,6 +81,7 @@ Run 'spsweep <subcommand> -h' for flags.`)
 // matrixFlags registers the matrix-shaping flags on fs.
 type matrixFlags struct {
 	bench, kinds, seeds, scales *string
+	specs                       *string
 	threads                     *int
 	quick                       *bool
 	metricsEpoch                *uint64
@@ -86,10 +89,11 @@ type matrixFlags struct {
 
 func addMatrixFlags(fs *flag.FlagSet) *matrixFlags {
 	return &matrixFlags{
-		bench:        fs.String("bench", "all", `benchmarks: "all" or comma-separated names`),
+		bench:        fs.String("bench", "all", `benchmarks: "all", "none", or comma-separated names`),
 		kinds:        fs.String("kinds", "eval", `configurations: "eval" (paper §5 set), "all", or comma-separated`),
 		seeds:        fs.String("seeds", "42", "comma-separated workload build seeds"),
 		scales:       fs.String("scales", "1.0", "comma-separated workload scale factors"),
+		specs:        fs.String("specs", "", "comma-separated scenario spec files to sweep alongside the benchmarks"),
 		threads:      fs.Int("threads", 16, "threads per workload (must match the machine's node count)"),
 		quick:        fs.Bool("quick", false, "shorthand for -scales 0.25"),
 		metricsEpoch: fs.Uint64("metrics-epoch", 0, "metrics sampling epoch in cycles for every cell (0 = no metrics)"),
@@ -98,13 +102,30 @@ func addMatrixFlags(fs *flag.FlagSet) *matrixFlags {
 
 func (m *matrixFlags) matrix() (sweep.Matrix, error) {
 	benches := workload.Names()
-	if *m.bench != "all" {
+	switch *m.bench {
+	case "all":
+	case "none":
+		benches = nil
+	default:
 		benches = splitList(*m.bench)
 		for _, b := range benches {
 			if _, err := workload.ByName(b); err != nil {
 				return sweep.Matrix{}, err
 			}
 		}
+	}
+	// Spec references resolve at flag-parse time: the digest computed here
+	// is the cell identity, and execution re-verifies the file against it.
+	var specRefs []sweep.SpecRef
+	for _, path := range splitList(*m.specs) {
+		s, err := scenario.Load(path)
+		if err != nil {
+			return sweep.Matrix{}, err
+		}
+		specRefs = append(specRefs, sweep.SpecRef{Name: s.Name, Path: path, Digest: s.Digest()})
+	}
+	if len(benches) == 0 && len(specRefs) == 0 {
+		return sweep.Matrix{}, fmt.Errorf("empty matrix: no benchmarks and no specs")
 	}
 	var kinds []string
 	switch *m.kinds {
@@ -147,6 +168,7 @@ func (m *matrixFlags) matrix() (sweep.Matrix, error) {
 	}
 	return sweep.Matrix{
 		Benches:      benches,
+		Specs:        specRefs,
 		Kinds:        kinds,
 		Seeds:        seeds,
 		Scales:       scaleVals,
@@ -166,14 +188,23 @@ func splitList(s string) []string {
 }
 
 // runCell is the production executor: one self-contained simulation per
-// job (experiments.RunCell shares no state between cells).
+// job (experiments.RunCell shares no state between cells). Spec cells
+// reload their file and verify it still hashes to the digest recorded in
+// the job identity, so a spec edited after matrix assembly fails loudly
+// instead of silently mislabeling an artifact.
 func runCell(j sweep.Job) (*sim.Result, error) {
-	return experiments.RunCell(experiments.Config{
-		Threads:      j.Threads,
-		Scale:        j.Scale,
-		Seed:         j.Seed,
-		MetricsEpoch: j.MetricsEpoch,
-	}, j.Bench, j.Kind)
+	if j.SpecDigest == "" {
+		return experiments.RunCell(j.RunConfig, j.Bench, j.Kind)
+	}
+	s, err := scenario.Load(j.SpecPath)
+	if err != nil {
+		return nil, err
+	}
+	if d := s.Digest(); d != j.SpecDigest {
+		return nil, fmt.Errorf("spec %s changed since the sweep was assembled (digest %.12s, job wants %.12s); rerun 'spsweep run'",
+			j.SpecPath, d, j.SpecDigest)
+	}
+	return experiments.RunSpecCell(j.RunConfig, s, j.Kind)
 }
 
 func cmdRun(args []string, resume bool) error {

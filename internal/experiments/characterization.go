@@ -28,8 +28,8 @@ func Table1(r *Runner) (*stats.Table, error) {
 			return nil, err
 		}
 		cs, se, dyn := a.EpochStats()
-		t.AddRowf(name, cs, prof.PaperStaticCS, se, prof.PaperStaticEpochs,
-			dyn, prof.PaperDynEpochs, prof.PaperInput)
+		t.AddRowf(name, cs, prof.Paper.StaticCS, se, prof.Paper.StaticEpochs,
+			dyn, prof.Paper.DynEpochs, prof.Paper.Input)
 	}
 	t.AddNote("dynamic counts scale with -scale; paper columns are the published Table 1")
 	return t, nil

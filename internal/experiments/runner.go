@@ -13,23 +13,20 @@ import (
 	"spcoh/internal/core"
 	"spcoh/internal/event"
 	"spcoh/internal/predictor"
+	"spcoh/internal/runcfg"
+	"spcoh/internal/scenario"
 	"spcoh/internal/sim"
 	"spcoh/internal/trace"
 	"spcoh/internal/workload"
 )
 
-// Config scales the experiment workloads.
-type Config struct {
-	Threads int
-	Scale   float64
-	Seed    int64
-
-	// MetricsEpoch, when non-zero, enables the run-time metrics collector
-	// on every measurement run with this sampling epoch (cycles); each
-	// sim.Result then carries a phase-resolved time-series in .Metrics.
-	// Auxiliary passes (oracle profiling, trace capture) never collect.
-	MetricsEpoch uint64
-}
+// Config scales the experiment workloads. It is the shared run
+// configuration (see internal/runcfg); the sweep layer embeds the same
+// struct in its jobs, so a cell's sizing flows through unconverted.
+// MetricsEpoch semantics here: non-zero enables the run-time metrics
+// collector on every measurement run; auxiliary passes (oracle profiling,
+// trace capture) never collect.
+type Config = runcfg.RunConfig
 
 // Default is the full-size configuration used for EXPERIMENTS.md.
 func Default() Config { return Config{Threads: 16, Scale: 1.0, Seed: 42} }
@@ -56,6 +53,13 @@ func EvalKinds() []string {
 // the first computation finishes and then share its outcome.
 type Runner struct {
 	Cfg Config
+
+	// Spec, when set, adds one scenario-spec workload: a bench name equal
+	// to the spec's name resolves to the spec instead of a built-in
+	// profile. Its program cache key is the spec's content digest, so two
+	// distinct specs sharing a name (e.g. two "fuzz-1" variants across
+	// runner instances) can never alias a cached program.
+	Spec *scenario.Spec
 
 	results  cache[*sim.Result]
 	analyses cache[*charac.Analysis]
@@ -112,12 +116,17 @@ func protect[T any](key string, fn func() (T, error)) (val T, err error) {
 }
 
 func (r *Runner) program(bench string) (*workload.Program, error) {
+	if r.Spec != nil && bench == r.Spec.Name {
+		return r.programs.do("spec:"+r.Spec.Digest(), func() (*workload.Program, error) {
+			return workload.FromSpec(r.Spec, r.Cfg.Threads, r.Cfg.Scale, r.Cfg.Seed)
+		})
+	}
 	return r.programs.do(bench, func() (*workload.Program, error) {
 		prof, err := workload.ByName(bench)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %w", err)
 		}
-		return prof.Build(r.Cfg.Threads, r.Cfg.Scale, r.Cfg.Seed), nil
+		return prof.Program(r.Cfg.Threads, r.Cfg.Scale, r.Cfg.Seed)
 	})
 }
 
@@ -250,6 +259,15 @@ func (r *Runner) Analysis(bench string) (*charac.Analysis, error) {
 // kind).
 func RunCell(cfg Config, bench, kind string) (*sim.Result, error) {
 	return NewRunner(cfg).Run(bench, kind)
+}
+
+// RunSpecCell executes one simulation cell for a scenario spec, exactly as
+// RunCell does for a built-in benchmark: self-contained, sharing no state
+// with other cells, deterministic in (cfg, spec, kind).
+func RunSpecCell(cfg Config, spec *scenario.Spec, kind string) (*sim.Result, error) {
+	r := NewRunner(cfg)
+	r.Spec = spec
+	return r.Run(spec.Name, kind)
 }
 
 // Benchmarks returns the benchmark list in paper order.

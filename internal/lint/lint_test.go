@@ -187,6 +187,8 @@ func TestDefaultIsSim(t *testing.T) {
 		"spcoh/internal/sim":         true,
 		"spcoh/internal/protocol":    true,
 		"spcoh/internal/experiments": true,
+		"spcoh/internal/scenario":    true,
+		"spcoh/internal/runcfg":      true,
 		"spcoh/internal/lint":        false,
 		"spcoh/internal/sweep":       false,
 		"spcoh/cmd/spsweep":          false,

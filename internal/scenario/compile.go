@@ -1,0 +1,274 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spcoh/internal/detutil"
+	"spcoh/internal/workload/topo"
+)
+
+// Machine receives the emitted operation stream of a spec walk. The
+// internal/workload package adapts it onto its op-stream Builder; tests
+// use recording fakes. All indices are pre-validated: region, to, from and
+// lock are in range when a callback fires.
+type Machine interface {
+	// Barrier announces barrier site j (0-based) crossing for all threads.
+	Barrier(site int)
+	// Produce emits count writes by tid over consumer to's partition of
+	// region.
+	Produce(tid, region, to, lines, count int)
+	// Consume emits count reads by tid over its partition of from's slice.
+	Consume(tid, region, from, lines, count int)
+	// CS emits one critical section of count accesses under lock.
+	CS(tid, lock, region, lines, count int)
+	// Private emits count private-heap accesses over a ws-line working set.
+	Private(tid, count, ws int)
+	// Compute burns cycles of non-memory work.
+	Compute(tid, cycles int)
+}
+
+// Compiled is a validated spec with every expression parsed, ready to walk.
+type Compiled struct {
+	Spec  *Spec
+	defs  map[string]*Expr
+	steps []compiledStep
+}
+
+type compiledStep struct {
+	op     string
+	when   *Expr
+	region *Expr
+	target *Expr // produce to / consume from / cs lock
+	count  *Expr
+	cycles *Expr
+	lines  int
+	ws     int
+
+	loopVar string
+	lo, hi  *Expr
+	body    []compiledStep
+}
+
+// Compile validates the spec and parses every expression once.
+func (s *Spec) Compile() (*Compiled, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Compiled{Spec: s, defs: make(map[string]*Expr, len(s.Defs))}
+	for _, name := range detutil.SortedKeys(s.Defs) {
+		e, err := CompileExpr(s.Defs[name])
+		if err != nil {
+			// Validate compiled it already; unreachable.
+			return nil, err
+		}
+		c.defs[name] = e
+	}
+	var err error
+	c.steps, err = compileSteps(s.Steps)
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func compileSteps(steps []Step) ([]compiledStep, error) {
+	out := make([]compiledStep, len(steps))
+	for k := range steps {
+		st := &steps[k]
+		cs := compiledStep{op: st.Op, lines: st.Lines, ws: st.Ws, loopVar: st.Var}
+		var err error
+		compile := func(dst **Expr, src string) {
+			if err != nil || src == "" {
+				return
+			}
+			*dst, err = CompileExpr(src)
+		}
+		compile(&cs.when, st.When)
+		compile(&cs.region, st.Region)
+		compile(&cs.count, st.Count)
+		compile(&cs.cycles, st.Cycles)
+		compile(&cs.lo, st.Lo)
+		compile(&cs.hi, st.Hi)
+		switch st.Op {
+		case "produce":
+			compile(&cs.target, st.To)
+		case "consume":
+			compile(&cs.target, st.From)
+		case "cs":
+			compile(&cs.target, st.Lock)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(st.Steps) > 0 {
+			cs.body, err = compileSteps(st.Steps)
+			if err != nil {
+				return nil, err
+			}
+		}
+		out[k] = cs
+	}
+	return out, nil
+}
+
+// Emit walks the compiled spec and drives m: for each scaled iteration,
+// cross every barrier site in order, then run the guarded step list once
+// per thread (tid order). rng backs the rng() expression function; passing
+// the program builder's source keeps spec-driven builds byte-identical to
+// equivalent hand-coded ones. Emit is deterministic in (threads, scale,
+// rng seed).
+func (c *Compiled) Emit(threads int, scale float64, rng *rand.Rand, m Machine) error {
+	if threads < 1 {
+		return fmt.Errorf("scenario: emit %s: %d threads", c.Spec.Name, threads)
+	}
+	iters := topo.ScaleIters(c.Spec.Iters, scale)
+	env := &Env{
+		N:     int64(threads),
+		Iters: int64(iters),
+		Locks: int64(c.Spec.Locks),
+		Bars:  int64(c.Spec.Barriers),
+		Rng:   rng,
+		defs:  c.defs,
+		loop:  make(map[string]int64),
+	}
+	for it := 0; it < iters; it++ {
+		env.It = int64(it)
+		for j := 0; j < c.Spec.Barriers; j++ {
+			env.J = int64(j)
+			m.Barrier(j)
+			for tid := 0; tid < threads; tid++ {
+				env.I = int64(tid)
+				if err := c.runSteps(c.steps, env, tid, threads, m); err != nil {
+					return fmt.Errorf("scenario: emit %s (it=%d j=%d tid=%d): %w",
+						c.Spec.Name, it, j, tid, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// evalIndex evaluates e and range-checks the result against [0, limit).
+func evalIndex(e *Expr, env *Env, what string, limit int64) (int, error) {
+	v, err := e.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	if v < 0 || v >= limit {
+		return 0, fmt.Errorf("%s %d out of range [0, %d)", what, v, limit)
+	}
+	return int(v), nil
+}
+
+// evalCount evaluates a count/cycles expression, range-checked to
+// [0, MaxCount]. A zero count emits nothing (a skipped action), matching
+// the builder helpers' treatment of n <= 0.
+func evalCount(e *Expr, env *Env, what string) (int, error) {
+	v, err := e.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	if v < 0 || v > MaxCount {
+		return 0, fmt.Errorf("%s %d out of range [0, %d]", what, v, MaxCount)
+	}
+	return int(v), nil
+}
+
+func (c *Compiled) runSteps(steps []compiledStep, env *Env, tid, threads int, m Machine) error {
+	for k := range steps {
+		st := &steps[k]
+		if st.when != nil {
+			ok, err := st.when.EvalBool(env)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+		}
+		switch st.op {
+		case "produce", "consume":
+			region, err := evalIndex(st.region, env, "region", MaxRegions)
+			if err != nil {
+				return err
+			}
+			peer, err := evalIndex(st.target, env, "peer", int64(threads))
+			if err != nil {
+				return err
+			}
+			count, err := evalCount(st.count, env, "count")
+			if err != nil {
+				return err
+			}
+			if st.op == "produce" {
+				m.Produce(tid, region, peer, st.lines, count)
+			} else {
+				m.Consume(tid, region, peer, st.lines, count)
+			}
+		case "produce_all":
+			region, err := evalIndex(st.region, env, "region", MaxRegions)
+			if err != nil {
+				return err
+			}
+			for consumer := 0; consumer < threads; consumer++ {
+				m.Produce(tid, region, consumer, st.lines, st.lines)
+			}
+		case "cs":
+			lock, err := evalIndex(st.target, env, "lock", int64(c.Spec.Locks))
+			if err != nil {
+				return err
+			}
+			region, err := evalIndex(st.region, env, "region", MaxRegions)
+			if err != nil {
+				return err
+			}
+			count, err := evalCount(st.count, env, "count")
+			if err != nil {
+				return err
+			}
+			m.CS(tid, lock, region, st.lines, count)
+		case "private":
+			count, err := evalCount(st.count, env, "count")
+			if err != nil {
+				return err
+			}
+			m.Private(tid, count, st.ws)
+		case "compute":
+			cycles, err := evalCount(st.cycles, env, "cycles")
+			if err != nil {
+				return err
+			}
+			m.Compute(tid, cycles)
+		case "loop":
+			lo, err := st.lo.Eval(env)
+			if err != nil {
+				return err
+			}
+			hi, err := st.hi.Eval(env)
+			if err != nil {
+				return err
+			}
+			if hi-lo >= MaxCount {
+				return fmt.Errorf("loop %s: %d iterations exceed %d", st.loopVar, hi-lo+1, MaxCount)
+			}
+			outer, shadowed := env.loop[st.loopVar]
+			for v := lo; v <= hi; v++ {
+				env.loop[st.loopVar] = v
+				if err := c.runSteps(st.body, env, tid, threads, m); err != nil {
+					return err
+				}
+			}
+			if shadowed {
+				env.loop[st.loopVar] = outer
+			} else {
+				delete(env.loop, st.loopVar)
+			}
+		case "group":
+			if err := c.runSteps(st.body, env, tid, threads, m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,537 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"spcoh/internal/workload/topo"
+)
+
+// The scenario expression language: integer expressions over the walk
+// variables (i, n, it, j, iters, locks, bars), loop variables and named
+// defs, with Go arithmetic semantics. Comparisons and logical operators
+// produce 0/1, so guards and counts share one value domain; `rng(m)`
+// consumes the program's build-time random source exactly where it appears
+// in the emit order, which is what keeps spec-driven builds byte-identical
+// to the hand-coded profiles they replace.
+//
+// Grammar (precedence climbing, loosest first):
+//
+//	expr  := or
+//	or    := and    { "||" and }
+//	and   := cmp    { "&&" cmp }
+//	cmp   := sum    [ ("=="|"!="|"<="|">="|"<"|">") sum ]
+//	sum   := term   { ("+"|"-") term }
+//	term  := unary  { ("*"|"/"|"%") unary }
+//	unary := ("-"|"!") unary | primary
+//	primary := INT | IDENT | IDENT "(" expr {"," expr} ")" | "(" expr ")"
+//
+// Functions: east(x), west(x), parent(x), child(x,k), rng(m), min(a,b),
+// max(a,b). east/west/child take the thread count from the environment.
+
+// Env is the variable binding under which an expression evaluates: the
+// walker's fixed loop indices plus loop variables and spec defs resolved
+// by name.
+type Env struct {
+	I, N, It, J, Iters, Locks, Bars int64
+
+	// Rng is the build-time random source backing rng(m). Nil forbids rng.
+	Rng *rand.Rand
+
+	// defs maps spec-level named expressions; loop holds loop variables.
+	// Both are managed by the emit walker.
+	defs map[string]*Expr
+	loop map[string]int64
+
+	// depth guards against runaway def recursion.
+	depth int
+}
+
+// maxDefDepth bounds def-to-def reference chains.
+const maxDefDepth = 16
+
+// lookupVar resolves an identifier: builtins first, then loop variables,
+// then defs.
+func (e *Env) lookupVar(name string) (int64, error) {
+	switch name {
+	case "i":
+		return e.I, nil
+	case "n":
+		return e.N, nil
+	case "it":
+		return e.It, nil
+	case "j":
+		return e.J, nil
+	case "iters":
+		return e.Iters, nil
+	case "locks":
+		return e.Locks, nil
+	case "bars":
+		return e.Bars, nil
+	}
+	if v, ok := e.loop[name]; ok {
+		return v, nil
+	}
+	if d, ok := e.defs[name]; ok {
+		if e.depth >= maxDefDepth {
+			return 0, fmt.Errorf("def %q: reference chain deeper than %d", name, maxDefDepth)
+		}
+		e.depth++
+		v, err := d.Eval(e)
+		e.depth--
+		if err != nil {
+			return 0, fmt.Errorf("def %q: %w", name, err)
+		}
+		return v, nil
+	}
+	return 0, fmt.Errorf("unknown variable %q", name)
+}
+
+// Expr is one compiled expression.
+type Expr struct {
+	src  string
+	node node
+}
+
+// Src returns the source text the expression was compiled from.
+func (e *Expr) Src() string { return e.src }
+
+// CompileExpr parses src into an evaluable expression.
+func CompileExpr(src string) (*Expr, error) {
+	p := &parser{src: src}
+	p.next()
+	n, err := p.parseOr()
+	if err != nil {
+		return nil, fmt.Errorf("expr %q: %w", src, err)
+	}
+	if p.tok != tokEOF {
+		return nil, fmt.Errorf("expr %q: trailing input at %q", src, p.lit)
+	}
+	return &Expr{src: src, node: n}, nil
+}
+
+// Eval evaluates the expression under env.
+func (e *Expr) Eval(env *Env) (int64, error) {
+	v, err := e.node.eval(env)
+	if err != nil {
+		return 0, fmt.Errorf("expr %q: %w", e.src, err)
+	}
+	return v, nil
+}
+
+// EvalBool evaluates the expression as a guard: nonzero is true.
+func (e *Expr) EvalBool(env *Env) (bool, error) {
+	v, err := e.Eval(env)
+	return v != 0, err
+}
+
+// ---------------------------------------------------------------------------
+// AST
+// ---------------------------------------------------------------------------
+
+type node interface {
+	eval(*Env) (int64, error)
+}
+
+type intNode int64
+
+func (n intNode) eval(*Env) (int64, error) { return int64(n), nil }
+
+type varNode string
+
+func (n varNode) eval(env *Env) (int64, error) { return env.lookupVar(string(n)) }
+
+type unaryNode struct {
+	op string
+	x  node
+}
+
+func (n unaryNode) eval(env *Env) (int64, error) {
+	v, err := n.x.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	if n.op == "-" {
+		return -v, nil
+	}
+	if v == 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+type binNode struct {
+	op   string
+	l, r node
+}
+
+func (n binNode) eval(env *Env) (int64, error) {
+	l, err := n.l.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	// Short-circuit the logical operators.
+	switch n.op {
+	case "&&":
+		if l == 0 {
+			return 0, nil
+		}
+		r, err := n.r.eval(env)
+		if err != nil {
+			return 0, err
+		}
+		return b2i(r != 0), nil
+	case "||":
+		if l != 0 {
+			return 1, nil
+		}
+		r, err := n.r.eval(env)
+		if err != nil {
+			return 0, err
+		}
+		return b2i(r != 0), nil
+	}
+	r, err := n.r.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	switch n.op {
+	case "+":
+		return l + r, nil
+	case "-":
+		return l - r, nil
+	case "*":
+		return l * r, nil
+	case "/":
+		if r == 0 {
+			return 0, fmt.Errorf("division by zero")
+		}
+		return l / r, nil
+	case "%":
+		if r == 0 {
+			return 0, fmt.Errorf("modulo by zero")
+		}
+		return l % r, nil
+	case "==":
+		return b2i(l == r), nil
+	case "!=":
+		return b2i(l != r), nil
+	case "<":
+		return b2i(l < r), nil
+	case "<=":
+		return b2i(l <= r), nil
+	case ">":
+		return b2i(l > r), nil
+	case ">=":
+		return b2i(l >= r), nil
+	}
+	return 0, fmt.Errorf("unknown operator %q", n.op)
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+type callNode struct {
+	fn   string
+	args []node
+}
+
+// exprFuncs maps function names to their arities; validation uses it too.
+var exprFuncs = map[string]int{
+	"east": 1, "west": 1, "parent": 1, "child": 2,
+	"rng": 1, "min": 2, "max": 2,
+}
+
+func (n callNode) eval(env *Env) (int64, error) {
+	vals := make([]int64, len(n.args))
+	for i, a := range n.args {
+		v, err := a.eval(env)
+		if err != nil {
+			return 0, err
+		}
+		vals[i] = v
+	}
+	switch n.fn {
+	case "east":
+		if env.N <= 0 {
+			return 0, fmt.Errorf("east: no threads in scope")
+		}
+		return int64(topo.East(int(vals[0]), int(env.N))), nil
+	case "west":
+		if env.N <= 0 {
+			return 0, fmt.Errorf("west: no threads in scope")
+		}
+		return int64(topo.West(int(vals[0]), int(env.N))), nil
+	case "parent":
+		return int64(topo.Parent(int(vals[0]))), nil
+	case "child":
+		if env.N <= 0 {
+			return 0, fmt.Errorf("child: no threads in scope")
+		}
+		return int64(topo.Child(int(vals[0]), int(vals[1]), int(env.N))), nil
+	case "rng":
+		if env.Rng == nil {
+			return 0, fmt.Errorf("rng: no random source in scope")
+		}
+		if vals[0] <= 0 {
+			return 0, fmt.Errorf("rng(%d): bound must be positive", vals[0])
+		}
+		return int64(env.Rng.Intn(int(vals[0]))), nil
+	case "min":
+		if vals[0] < vals[1] {
+			return vals[0], nil
+		}
+		return vals[1], nil
+	case "max":
+		if vals[0] > vals[1] {
+			return vals[0], nil
+		}
+		return vals[1], nil
+	}
+	return 0, fmt.Errorf("unknown function %q", n.fn)
+}
+
+// ---------------------------------------------------------------------------
+// Lexer + parser
+// ---------------------------------------------------------------------------
+
+type token int
+
+const (
+	tokEOF token = iota
+	tokInt
+	tokIdent
+	tokOp     // + - * / % ! < > <= >= == != && ||
+	tokLParen // (
+	tokRParen // )
+	tokComma  // ,
+)
+
+type parser struct {
+	src string
+	pos int
+	tok token
+	lit string
+}
+
+func (p *parser) next() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+	if p.pos >= len(p.src) {
+		p.tok, p.lit = tokEOF, ""
+		return
+	}
+	c := p.src[p.pos]
+	switch {
+	case c >= '0' && c <= '9':
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+			p.pos++
+		}
+		p.tok, p.lit = tokInt, p.src[start:p.pos]
+	case c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'):
+		start := p.pos
+		for p.pos < len(p.src) && (p.src[p.pos] == '_' ||
+			p.src[p.pos] >= 'a' && p.src[p.pos] <= 'z' ||
+			p.src[p.pos] >= 'A' && p.src[p.pos] <= 'Z' ||
+			p.src[p.pos] >= '0' && p.src[p.pos] <= '9') {
+			p.pos++
+		}
+		p.tok, p.lit = tokIdent, p.src[start:p.pos]
+	case c == '(':
+		p.pos++
+		p.tok, p.lit = tokLParen, "("
+	case c == ')':
+		p.pos++
+		p.tok, p.lit = tokRParen, ")"
+	case c == ',':
+		p.pos++
+		p.tok, p.lit = tokComma, ","
+	default:
+		// Multi-character operators first.
+		two := ""
+		if p.pos+1 < len(p.src) {
+			two = p.src[p.pos : p.pos+2]
+		}
+		switch two {
+		case "==", "!=", "<=", ">=", "&&", "||":
+			p.pos += 2
+			p.tok, p.lit = tokOp, two
+			return
+		}
+		switch c {
+		case '+', '-', '*', '/', '%', '!', '<', '>':
+			p.pos++
+			p.tok, p.lit = tokOp, string(c)
+		default:
+			p.tok, p.lit = tokOp, string(c) // reported as unexpected by the parser
+			p.pos++
+		}
+	}
+}
+
+func (p *parser) parseOr() (node, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok == tokOp && p.lit == "||" {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = binNode{op: "||", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (node, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok == tokOp && p.lit == "&&" {
+		p.next()
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = binNode{op: "&&", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseCmp() (node, error) {
+	l, err := p.parseSum()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok == tokOp {
+		switch p.lit {
+		case "==", "!=", "<", "<=", ">", ">=":
+			op := p.lit
+			p.next()
+			r, err := p.parseSum()
+			if err != nil {
+				return nil, err
+			}
+			return binNode{op: op, l: l, r: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseSum() (node, error) {
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok == tokOp && (p.lit == "+" || p.lit == "-") {
+		op := p.lit
+		p.next()
+		r, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		l = binNode{op: op, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseTerm() (node, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok == tokOp && (p.lit == "*" || p.lit == "/" || p.lit == "%") {
+		op := p.lit
+		p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = binNode{op: op, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (node, error) {
+	if p.tok == tokOp && (p.lit == "-" || p.lit == "!") {
+		op := p.lit
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return unaryNode{op: op, x: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (node, error) {
+	switch p.tok {
+	case tokInt:
+		v, err := strconv.ParseInt(p.lit, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", p.lit)
+		}
+		p.next()
+		return intNode(v), nil
+	case tokIdent:
+		name := p.lit
+		p.next()
+		if p.tok != tokLParen {
+			return varNode(name), nil
+		}
+		// Function call.
+		arity, ok := exprFuncs[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown function %q", name)
+		}
+		p.next()
+		var args []node
+		if p.tok != tokRParen {
+			for {
+				a, err := p.parseOr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if p.tok != tokComma {
+					break
+				}
+				p.next()
+			}
+		}
+		if p.tok != tokRParen {
+			return nil, fmt.Errorf("missing ) after %s(", name)
+		}
+		p.next()
+		if len(args) != arity {
+			return nil, fmt.Errorf("%s takes %d argument(s), got %d", name, arity, len(args))
+		}
+		return callNode{fn: name, args: args}, nil
+	case tokLParen:
+		p.next()
+		n, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok != tokRParen {
+			return nil, fmt.Errorf("missing )")
+		}
+		p.next()
+		return n, nil
+	case tokEOF:
+		return nil, fmt.Errorf("unexpected end of expression")
+	default:
+		return nil, fmt.Errorf("unexpected %q", p.lit)
+	}
+}

@@ -1,0 +1,161 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+)
+
+// GenOptions bounds the seeded generator. The zero value selects fuzz-
+// friendly defaults: small iteration counts so a generated scenario
+// simulates in milliseconds, with sync/sharing structure still spanning
+// every pattern class the predictor distinguishes.
+type GenOptions struct {
+	// MaxPhases bounds the number of pattern phases (default 4, min 1).
+	MaxPhases int
+	// MaxIters bounds the base outer-iteration count (default 6, min 2).
+	MaxIters int
+	// MaxAccesses bounds per-step access counts (default 8, min 2).
+	MaxAccesses int
+}
+
+func (o GenOptions) normalize() GenOptions {
+	if o.MaxPhases < 1 {
+		o.MaxPhases = 4
+	}
+	if o.MaxIters < 2 {
+		o.MaxIters = 6
+	}
+	if o.MaxAccesses < 2 {
+		o.MaxAccesses = 8
+	}
+	return o
+}
+
+// patternKinds are the sharing-pattern primitives the generator composes —
+// the same classes the built-in profiles exercise (paper §3.4).
+var patternKinds = []string{
+	"exchange",  // stride-d ring producer-consumer (ocean, water-ns)
+	"tree",      // parent/child tree exchange (fmm)
+	"hotspot",   // rotating coordinator broadcasts, all consume (lu, streamcluster)
+	"migratory", // lock-protected shared data bouncing between cores (water-ns CS)
+	"steal",     // publish everywhere, consume from random victims (radiosity)
+	"pipeline",  // per-stage region passed to the east neighbor (ferret, vips)
+}
+
+// Generate emits a random-but-valid scenario spec, deterministically in
+// seed: the same (seed, opt) always yields the identical spec (and
+// therefore identical canonical bytes and digest). Generated specs always
+// pass Validate and build at any thread count >= 1 — guard, target and
+// lock expressions come from templates whose values are in range by
+// construction — so sweeps can fuzz the predictor across arbitrarily many
+// never-seen sync/sharing shapes without a rejection loop.
+func Generate(seed int64, opt GenOptions) *Spec {
+	opt = opt.normalize()
+	rng := rand.New(rand.NewSource(seed))
+	phases := 1 + rng.Intn(opt.MaxPhases)
+
+	s := &Spec{
+		Version: Version,
+		Name:    fmt.Sprintf("fuzz-%d", seed),
+		Suite:   "fuzz",
+		Iters:   2 + rng.Intn(opt.MaxIters-1),
+		Locks:   1 + rng.Intn(24),
+		Defs:    map[string]string{},
+	}
+
+	// Each phase owns a contiguous range of barrier sites.
+	var steps []Step
+	lo := 0
+	for p := 0; p < phases; p++ {
+		width := 1 + rng.Intn(6)
+		hi := lo + width
+		kind := patternKinds[rng.Intn(len(patternKinds))]
+		steps = append(steps, genPhase(rng, p, kind, lo, hi, s, opt))
+		lo = hi
+	}
+	s.Barriers = lo
+
+	// Every epoch tail: private streaming work (the non-communicating miss
+	// knob) and compute. Small working sets keep fuzz runs fast.
+	steps = append(steps,
+		Step{Op: "private", Count: strconv.Itoa(1 + rng.Intn(opt.MaxAccesses)),
+			Ws: 1 << (10 + rng.Intn(8))},
+		Step{Op: "compute", Cycles: strconv.Itoa(50 + 50*rng.Intn(8))},
+	)
+	s.Steps = steps
+	return s
+}
+
+// genPhase emits one pattern phase guarded to barrier sites [lo, hi).
+func genPhase(rng *rand.Rand, idx int, kind string, lo, hi int, s *Spec, opt GenOptions) Step {
+	guard := fmt.Sprintf("j >= %d && j < %d", lo, hi)
+	if lo == 0 {
+		guard = fmt.Sprintf("j < %d", hi)
+	}
+	region := 2 * idx // two regions per phase keeps produce/consume spaces disjoint
+	lines := 1 + rng.Intn(8)
+	cnt := func(minimum int) string {
+		return strconv.Itoa(minimum + rng.Intn(opt.MaxAccesses))
+	}
+	even, odd := "j % 2 == 0", "j % 2 != 0"
+	var body []Step
+	switch kind {
+	case "exchange":
+		// The 3*n bias keeps the reverse-direction operand non-negative at
+		// any thread count (Go's % keeps the dividend's sign).
+		d := 1 + rng.Intn(3)
+		body = []Step{
+			{When: even, Op: "produce", Region: itoa(region),
+				To: fmt.Sprintf("(i + %d) %% n", d), Lines: lines, Count: cnt(lines)},
+			{When: odd, Op: "consume", Region: itoa(region),
+				From: fmt.Sprintf("(i + 3*n - %d) %% n", d), Lines: lines, Count: cnt(lines)},
+		}
+	case "tree":
+		body = []Step{
+			{When: even, Op: "produce", Region: itoa(region),
+				To: "parent(i)", Lines: lines, Count: cnt(lines)},
+			{When: odd, Op: "consume", Region: itoa(region),
+				From: "child(i, 0)", Lines: lines, Count: cnt(1)},
+			{When: odd, Op: "consume", Region: itoa(region),
+				From: "child(i, 1)", Lines: lines, Count: cnt(1)},
+		}
+	case "hotspot":
+		owner := fmt.Sprintf("owner%d", idx)
+		s.Defs[owner] = fmt.Sprintf("(it / %d) %% n", 1+rng.Intn(4))
+		body = []Step{
+			{When: even + " && i == " + owner, Op: "produce_all",
+				Region: itoa(region), Lines: lines},
+			{When: odd + " && i != " + owner, Op: "consume", Region: itoa(region),
+				From: owner, Lines: lines, Count: cnt(1)},
+		}
+	case "migratory":
+		a, b := 1+rng.Intn(7), rng.Intn(5)
+		body = []Step{
+			{Op: "cs", Lock: fmt.Sprintf("(i + j*%d + %d) %% locks", a, b),
+				Region: itoa(region), Lines: 1 + rng.Intn(4), Count: cnt(2)},
+		}
+	case "steal":
+		body = []Step{
+			{When: even, Op: "produce_all", Region: itoa(region), Lines: lines},
+			{When: odd, Op: "consume", Region: itoa(region),
+				From: "rng(n)", Lines: lines, Count: cnt(1)},
+			{When: odd, Op: "consume", Region: itoa(region),
+				From: "rng(n)", Lines: lines, Count: cnt(1)},
+		}
+	case "pipeline":
+		stages := 2 + rng.Intn(3)
+		stage := fmt.Sprintf("%d + j %% %d", region, stages)
+		body = []Step{
+			{When: even, Op: "produce", Region: stage,
+				To: "east(i)", Lines: lines, Count: cnt(lines)},
+			{When: odd, Op: "consume", Region: stage,
+				From: "west(i)", Lines: lines, Count: cnt(lines)},
+		}
+	default:
+		panic("scenario: unknown pattern kind " + kind)
+	}
+	return Step{When: guard, Op: "group", Steps: body}
+}
+
+func itoa(v int) string { return strconv.Itoa(v) }

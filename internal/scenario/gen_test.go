@@ -1,0 +1,112 @@
+package scenario
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		a, err := Generate(seed, GenOptions{}).Canonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Generate(seed, GenOptions{}).Canonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("seed %d: generated specs differ between calls", seed)
+		}
+	}
+	a, _ := Generate(1, GenOptions{}).Canonical()
+	b, _ := Generate(2, GenOptions{}).Canonical()
+	if bytes.Equal(a, b) {
+		t.Error("different seeds produced identical specs")
+	}
+}
+
+// TestGenerateValidAndEmittable is the generator's validity invariant: every
+// generated spec validates, compiles, and emits without error at several
+// thread counts — including n=1 and n=2, where modular-arithmetic templates
+// are most likely to step out of range.
+func TestGenerateValidAndEmittable(t *testing.T) {
+	seeds := 200
+	if testing.Short() {
+		seeds = 40
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		s := Generate(seed, GenOptions{})
+		if err := s.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		c, err := s.Compile()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, threads := range []int{1, 2, 3, 8} {
+			rec := &recorder{}
+			if err := c.Emit(threads, 1.0, rand.New(rand.NewSource(seed)), rec); err != nil {
+				t.Fatalf("seed %d threads %d: %v", seed, threads, err)
+			}
+			if len(rec.lines) == 0 {
+				t.Fatalf("seed %d threads %d: empty emission", seed, threads)
+			}
+		}
+	}
+}
+
+func TestGenerateEmitDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		c := mustCompile(t, Generate(seed, GenOptions{}))
+		a, b := &recorder{}, &recorder{}
+		if err := c.Emit(4, 1.0, rand.New(rand.NewSource(seed)), a); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Emit(4, 1.0, rand.New(rand.NewSource(seed)), b); err != nil {
+			t.Fatal(err)
+		}
+		if strings.Join(a.lines, "\n") != strings.Join(b.lines, "\n") {
+			t.Fatalf("seed %d: same build seed emitted different streams", seed)
+		}
+	}
+}
+
+func TestGenerateCoversPatterns(t *testing.T) {
+	// Across a modest seed range, every pattern kind should appear at least
+	// once — guards against a template silently dropping out of rotation.
+	seen := map[string]bool{}
+	for seed := int64(0); seed < 60; seed++ {
+		s := Generate(seed, GenOptions{})
+		b, err := s.Canonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := string(b)
+		if strings.Contains(text, "parent(i)") {
+			seen["tree"] = true
+		}
+		if strings.Contains(text, "owner") {
+			seen["hotspot"] = true
+		}
+		if strings.Contains(text, "rng(n)") {
+			seen["steal"] = true
+		}
+		if strings.Contains(text, "3*n") {
+			seen["exchange"] = true
+		}
+		if strings.Contains(text, "east(i)") {
+			seen["pipeline"] = true
+		}
+		if strings.Contains(text, "% locks") {
+			seen["migratory"] = true
+		}
+	}
+	for _, kind := range patternKinds {
+		if !seen[kind] {
+			t.Errorf("pattern %q never generated in 60 seeds", kind)
+		}
+	}
+}

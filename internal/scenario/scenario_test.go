@@ -1,0 +1,245 @@
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// recorder is a Machine that logs every callback as one line.
+type recorder struct {
+	lines []string
+}
+
+func (r *recorder) logf(format string, args ...any) {
+	r.lines = append(r.lines, fmt.Sprintf(format, args...))
+}
+func (r *recorder) Barrier(site int) { r.logf("bar %d", site) }
+func (r *recorder) Produce(tid, region, to, lines, count int) {
+	r.logf("prod t%d r%d to%d l%d c%d", tid, region, to, lines, count)
+}
+func (r *recorder) Consume(tid, region, from, lines, count int) {
+	r.logf("cons t%d r%d fr%d l%d c%d", tid, region, from, lines, count)
+}
+func (r *recorder) CS(tid, lock, region, lines, count int) {
+	r.logf("cs t%d k%d r%d l%d c%d", tid, lock, region, lines, count)
+}
+func (r *recorder) Private(tid, count, ws int) { r.logf("priv t%d c%d w%d", tid, count, ws) }
+func (r *recorder) Compute(tid, cycles int)    { r.logf("comp t%d c%d", tid, cycles) }
+
+func mustCompile(t *testing.T, s *Spec) *Compiled {
+	t.Helper()
+	c, err := s.Compile()
+	if err != nil {
+		t.Fatalf("compile %s: %v", s.Name, err)
+	}
+	return c
+}
+
+func specJSON(t *testing.T, src string) *Spec {
+	t.Helper()
+	s, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return s
+}
+
+const ringSpec = `{
+  "version": 1, "name": "ring", "barriers": 2, "locks": 2, "iters": 2,
+  "defs": {"d": "1 + it % 2"},
+  "steps": [
+    {"when": "j == 0", "op": "produce", "region": "0", "to": "east(i)", "lines": 2, "count": "2"},
+    {"when": "j == 1", "op": "consume", "region": "0", "from": "west(i)", "lines": 2, "count": "d"},
+    {"when": "j == 1", "op": "cs", "lock": "i % locks", "region": "1", "lines": 1, "count": "3"},
+    {"op": "private", "count": "1", "ws": 64},
+    {"op": "compute", "cycles": "10"}
+  ]
+}`
+
+func TestEmitOrderAndGuards(t *testing.T) {
+	s := specJSON(t, ringSpec)
+	c := mustCompile(t, s)
+	rec := &recorder{}
+	if err := c.Emit(2, 1.0, rand.New(rand.NewSource(1)), rec); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		// it=0, j=0
+		"bar 0",
+		"prod t0 r0 to1 l2 c2", "priv t0 c1 w64", "comp t0 c10",
+		"prod t1 r0 to0 l2 c2", "priv t1 c1 w64", "comp t1 c10",
+		// it=0, j=1 (d = 1 + 0%2 = 1)
+		"bar 1",
+		"cons t0 r0 fr1 l2 c1", "cs t0 k0 r1 l1 c3", "priv t0 c1 w64", "comp t0 c10",
+		"cons t1 r0 fr0 l2 c1", "cs t1 k1 r1 l1 c3", "priv t1 c1 w64", "comp t1 c10",
+		// it=1, j=0
+		"bar 0",
+		"prod t0 r0 to1 l2 c2", "priv t0 c1 w64", "comp t0 c10",
+		"prod t1 r0 to0 l2 c2", "priv t1 c1 w64", "comp t1 c10",
+		// it=1, j=1 (d = 2 -> west by 2 wraps to self at n=2... east/west are fixed fns)
+		"bar 1",
+		"cons t0 r0 fr1 l2 c2", "cs t0 k0 r1 l1 c3", "priv t0 c1 w64", "comp t0 c10",
+		"cons t1 r0 fr0 l2 c2", "cs t1 k1 r1 l1 c3", "priv t1 c1 w64", "comp t1 c10",
+	}
+	if got := strings.Join(rec.lines, "\n"); got != strings.Join(want, "\n") {
+		t.Errorf("emit trace mismatch:\ngot:\n%s\nwant:\n%s", got, strings.Join(want, "\n"))
+	}
+}
+
+func TestEmitProduceAllAndLoop(t *testing.T) {
+	s := specJSON(t, `{
+	  "version": 1, "name": "fanout", "barriers": 1, "locks": 0, "iters": 1,
+	  "steps": [
+	    {"when": "i == 0", "op": "produce_all", "region": "0", "lines": 2},
+	    {"when": "i != 0", "op": "loop", "var": "k", "lo": "1", "hi": "2",
+	     "steps": [{"op": "consume", "region": "0", "from": "0", "lines": 2, "count": "k"}]}
+	  ]
+	}`)
+	c := mustCompile(t, s)
+	rec := &recorder{}
+	if err := c.Emit(3, 1.0, nil, rec); err != nil {
+		t.Fatal(err)
+	}
+	// ScaleIters floors at 2, so the one-iter spec still runs twice.
+	iter := []string{
+		"bar 0",
+		"prod t0 r0 to0 l2 c2", "prod t0 r0 to1 l2 c2", "prod t0 r0 to2 l2 c2",
+		"cons t1 r0 fr0 l2 c1", "cons t1 r0 fr0 l2 c2",
+		"cons t2 r0 fr0 l2 c1", "cons t2 r0 fr0 l2 c2",
+	}
+	want := append(append([]string{}, iter...), iter...)
+	if got := strings.Join(rec.lines, "\n"); got != strings.Join(want, "\n") {
+		t.Errorf("emit trace mismatch:\ngot:\n%s\nwant:\n%s", got, strings.Join(want, "\n"))
+	}
+}
+
+func TestEmitRangeErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name, body string
+	}{
+		{"peer", `{"op": "produce", "region": "0", "to": "n", "lines": 1, "count": "1"}`},
+		{"negative peer", `{"op": "consume", "region": "0", "from": "0 - 1", "lines": 1, "count": "1"}`},
+		{"region", `{"op": "produce", "region": "64", "to": "0", "lines": 1, "count": "1"}`},
+		{"lock", `{"op": "cs", "lock": "locks", "region": "0", "lines": 1, "count": "1"}`},
+		{"count", `{"op": "private", "count": "0 - 1", "ws": 64}`},
+	} {
+		s := specJSON(t, `{"version": 1, "name": "bad", "barriers": 1, "locks": 1, "iters": 1,
+		  "steps": [`+tc.body+`]}`)
+		c := mustCompile(t, s)
+		if err := c.Emit(2, 1.0, nil, &recorder{}); err == nil {
+			t.Errorf("%s: Emit should fail", tc.name)
+		}
+	}
+}
+
+func TestEmitScalesIters(t *testing.T) {
+	s := specJSON(t, `{"version": 1, "name": "sc", "barriers": 1, "locks": 0, "iters": 8,
+	  "steps": [{"op": "compute", "cycles": "1"}]}`)
+	c := mustCompile(t, s)
+	rec := &recorder{}
+	if err := c.Emit(1, 0.5, nil, rec); err != nil {
+		t.Fatal(err)
+	}
+	bars := 0
+	for _, l := range rec.lines {
+		if strings.HasPrefix(l, "bar ") {
+			bars++
+		}
+	}
+	if bars != 4 {
+		t.Errorf("scale 0.5 of 8 iters crossed %d barriers, want 4", bars)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	base := func() *Spec {
+		return specJSON(t, ringSpec)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+	}{
+		{"version", func(s *Spec) { s.Version = 99 }},
+		{"name", func(s *Spec) { s.Name = "" }},
+		{"barriers low", func(s *Spec) { s.Barriers = 0 }},
+		{"barriers high", func(s *Spec) { s.Barriers = MaxBarriers + 1 }},
+		{"locks", func(s *Spec) { s.Locks = -1 }},
+		{"iters", func(s *Spec) { s.Iters = MaxIters + 1 }},
+		{"no steps", func(s *Spec) { s.Steps = nil }},
+		{"def shadows var", func(s *Spec) { s.Defs["it"] = "1" }},
+		{"def shadows fn", func(s *Spec) { s.Defs["east"] = "1" }},
+		{"def bad expr", func(s *Spec) { s.Defs["x"] = "1 +" }},
+		{"bad when", func(s *Spec) { s.Steps[0].When = "(" }},
+		{"missing to", func(s *Spec) { s.Steps[0].To = "" }},
+		{"missing count", func(s *Spec) { s.Steps[0].Count = "" }},
+		{"bad lines", func(s *Spec) { s.Steps[0].Lines = MaxLines + 1 }},
+		{"zero lines", func(s *Spec) { s.Steps[0].Lines = 0 }},
+		{"bad ws", func(s *Spec) { s.Steps[3].Ws = 0 }},
+		{"missing cycles", func(s *Spec) { s.Steps[4].Cycles = "" }},
+		{"unknown op", func(s *Spec) { s.Steps[0].Op = "warp" }},
+		{"missing op", func(s *Spec) { s.Steps[0].Op = "" }},
+		{"loop no var", func(s *Spec) {
+			s.Steps = []Step{{Op: "loop", Lo: "0", Hi: "1",
+				Steps: []Step{{Op: "compute", Cycles: "1"}}}}
+		}},
+		{"loop shadows builtin", func(s *Spec) {
+			s.Steps = []Step{{Op: "loop", Var: "i", Lo: "0", Hi: "1",
+				Steps: []Step{{Op: "compute", Cycles: "1"}}}}
+		}},
+		{"loop empty body", func(s *Spec) {
+			s.Steps = []Step{{Op: "loop", Var: "k", Lo: "0", Hi: "1"}}
+		}},
+		{"group empty body", func(s *Spec) { s.Steps = []Step{{Op: "group"}} }},
+	}
+	for _, tc := range cases {
+		s := base()
+		tc.mut(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate should fail", tc.name)
+		}
+	}
+	// Deep nesting trips MaxDepth.
+	s := base()
+	st := Step{Op: "compute", Cycles: "1"}
+	for d := 0; d < MaxDepth+2; d++ {
+		st = Step{Op: "group", Steps: []Step{st}}
+	}
+	s.Steps = []Step{st}
+	if err := s.Validate(); err == nil {
+		t.Error("deep nesting: Validate should fail")
+	}
+}
+
+func TestCanonicalDigestStable(t *testing.T) {
+	a := specJSON(t, ringSpec)
+	b := specJSON(t, ringSpec)
+	ca, err := a.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := b.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ca, cb) {
+		t.Error("canonical bytes differ for identical specs")
+	}
+	if a.Digest() != b.Digest() {
+		t.Error("digests differ for identical specs")
+	}
+	b.Steps[0].Count = "3"
+	if a.Digest() == b.Digest() {
+		t.Error("digest unchanged after spec edit")
+	}
+	// Round trip: canonical bytes reparse to the same digest.
+	rt, err := Parse(ca)
+	if err != nil {
+		t.Fatalf("reparse canonical: %v", err)
+	}
+	if rt.Digest() != a.Digest() {
+		t.Error("canonical round trip changed the digest")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"spcoh/internal/event"
+	"spcoh/internal/runcfg"
 	"spcoh/internal/sim"
 )
 
@@ -69,14 +70,17 @@ func TestMatrixDigestInvariantToSpelling(t *testing.T) {
 }
 
 func TestJobDigestSensitivity(t *testing.T) {
-	j := Job{Bench: "ocean", Kind: "sp", Threads: 16, Scale: 0.25, Seed: 42}
+	rc := func(threads int, scale float64, seed int64) runcfg.RunConfig {
+		return runcfg.RunConfig{Threads: threads, Scale: scale, Seed: seed}
+	}
+	j := Job{Bench: "ocean", Kind: "sp", RunConfig: rc(16, 0.25, 42)}
 	base := j.Digest()
 	for name, mut := range map[string]Job{
-		"bench":   {Bench: "fmm", Kind: "sp", Threads: 16, Scale: 0.25, Seed: 42},
-		"kind":    {Bench: "ocean", Kind: "dir", Threads: 16, Scale: 0.25, Seed: 42},
-		"threads": {Bench: "ocean", Kind: "sp", Threads: 8, Scale: 0.25, Seed: 42},
-		"scale":   {Bench: "ocean", Kind: "sp", Threads: 16, Scale: 0.5, Seed: 42},
-		"seed":    {Bench: "ocean", Kind: "sp", Threads: 16, Scale: 0.25, Seed: 43},
+		"bench":   {Bench: "fmm", Kind: "sp", RunConfig: rc(16, 0.25, 42)},
+		"kind":    {Bench: "ocean", Kind: "dir", RunConfig: rc(16, 0.25, 42)},
+		"threads": {Bench: "ocean", Kind: "sp", RunConfig: rc(8, 0.25, 42)},
+		"scale":   {Bench: "ocean", Kind: "sp", RunConfig: rc(16, 0.5, 42)},
+		"seed":    {Bench: "ocean", Kind: "sp", RunConfig: rc(16, 0.25, 43)},
 	} {
 		if mut.Digest() == base {
 			t.Errorf("changing %s did not change the digest", name)
@@ -162,7 +166,7 @@ func TestPanicRecovery(t *testing.T) {
 }
 
 func TestTimeoutAndRetry(t *testing.T) {
-	jobs := []Job{{Bench: "hang", Kind: "sp", Threads: 16, Scale: 1, Seed: 1}}
+	jobs := []Job{{Bench: "hang", Kind: "sp", RunConfig: runcfg.RunConfig{Threads: 16, Scale: 1, Seed: 1}}}
 	hang := func(Job) (*sim.Result, error) {
 		time.Sleep(5 * time.Second)
 		return nil, nil

@@ -1,6 +1,10 @@
 package sweep
 
-import "testing"
+import (
+	"testing"
+
+	"spcoh/internal/runcfg"
+)
 
 // TestJobMetricsEpochCompatibility pins the resume-compatibility contract
 // of the MetricsEpoch field: a metrics-free job must keep exactly the key
@@ -9,7 +13,7 @@ import "testing"
 // key and different artifact address — so it never collides with a
 // metrics-free cell in the same store.
 func TestJobMetricsEpochCompatibility(t *testing.T) {
-	plain := Job{Bench: "ocean", Kind: "sp", Threads: 16, Scale: 0.25, Seed: 42}
+	plain := Job{Bench: "ocean", Kind: "sp", RunConfig: runcfg.RunConfig{Threads: 16, Scale: 0.25, Seed: 42}}
 	if got, want := plain.Key(), "ocean/sp/t16/x0.25/s42"; got != want {
 		t.Errorf("metrics-free key changed: %q, want %q", got, want)
 	}

@@ -1,0 +1,91 @@
+package sweep
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"spcoh/internal/runcfg"
+)
+
+// TestJobCanonicalBytesFrozen pins the exact canonical JSON of a built-in
+// (non-spec) job. The RunConfig embedding and the SpecDigest/SpecPath
+// fields must be invisible here: these bytes are the artifact address of
+// every sweep recorded before either change existed.
+func TestJobCanonicalBytesFrozen(t *testing.T) {
+	j := Job{Bench: "ocean", Kind: "sp", RunConfig: runcfg.RunConfig{Threads: 16, Scale: 0.25, Seed: 42}}
+	b, err := json.Marshal(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const frozen = `{"bench":"ocean","kind":"sp","threads":16,"scale":0.25,"seed":42}`
+	if string(b) != frozen {
+		t.Errorf("canonical job spec drifted:\n got %s\nwant %s", b, frozen)
+	}
+}
+
+// TestSpecCellIdentity checks the three identity rules of scenario-spec
+// cells: the digest (not the path) joins the key and artifact address, the
+// path is transport-only, and a spec cell can never collide with a
+// built-in cell sharing its name.
+func TestSpecCellIdentity(t *testing.T) {
+	rc := runcfg.RunConfig{Threads: 16, Scale: 0.25, Seed: 42}
+	plain := Job{Bench: "ring", Kind: "sp", RunConfig: rc}
+	spec := Job{Bench: "ring", Kind: "sp", RunConfig: rc,
+		SpecDigest: "aabbccddeeff00112233", SpecPath: "specs/ring.json"}
+
+	if got, want := spec.Key(), plain.Key()+"/gaabbccddeeff"; got != want {
+		t.Errorf("spec key = %q, want %q", got, want)
+	}
+	if spec.Digest() == plain.Digest() {
+		t.Error("spec cell shares the built-in cell's artifact address")
+	}
+
+	moved := spec
+	moved.SpecPath = "elsewhere/ring.json"
+	if moved.Key() != spec.Key() || moved.Digest() != spec.Digest() {
+		t.Error("moving a spec file changed the cell identity")
+	}
+	b, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "ring.json") {
+		t.Errorf("spec path leaked into the canonical encoding: %s", b)
+	}
+
+	edited := spec
+	edited.SpecDigest = "ffeeddccbbaa99887766"
+	if edited.Key() == spec.Key() || edited.Digest() == spec.Digest() {
+		t.Error("editing a spec (new digest) did not relocate the cell")
+	}
+}
+
+// TestMatrixSpecsExpand checks spec refs cross the full kinds×scales×seeds
+// dimensions alongside the benchmarks and survive the key sort.
+func TestMatrixSpecsExpand(t *testing.T) {
+	m := Matrix{
+		Benches: []string{"ocean"},
+		Specs:   []SpecRef{{Name: "fuzz-7", Path: "a.json", Digest: "0123456789abcdef"}},
+		Kinds:   []string{"dir", "sp"},
+		Seeds:   []int64{1, 2},
+		Scales:  []float64{0.25},
+		Threads: 8,
+	}
+	jobs := m.Jobs()
+	if len(jobs) != 8 {
+		t.Fatalf("got %d jobs, want 8 (2 workloads x 2 kinds x 2 seeds)", len(jobs))
+	}
+	specCells := 0
+	for _, j := range jobs {
+		if j.SpecDigest != "" {
+			specCells++
+			if j.Bench != "fuzz-7" || j.SpecPath != "a.json" {
+				t.Errorf("spec cell mislabeled: %+v", j)
+			}
+		}
+	}
+	if specCells != 4 {
+		t.Errorf("got %d spec cells, want 4", specCells)
+	}
+}

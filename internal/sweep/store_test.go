@@ -8,6 +8,7 @@ import (
 	"sync"
 	"testing"
 
+	"spcoh/internal/runcfg"
 	"spcoh/internal/sim"
 )
 
@@ -17,7 +18,7 @@ func TestStoreRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	j := Job{Bench: "ocean", Kind: "sp", Threads: 16, Scale: 0.25, Seed: 42}
+	j := Job{Bench: "ocean", Kind: "sp", RunConfig: runcfg.RunConfig{Threads: 16, Scale: 0.25, Seed: 42}}
 	if _, ok := store.Lookup(j); ok {
 		t.Fatal("empty store reported a hit")
 	}
@@ -75,7 +76,7 @@ func TestStorePersistsAcrossOpen(t *testing.T) {
 }
 
 func TestStoreCorruptionIsAMiss(t *testing.T) {
-	j := Job{Bench: "ocean", Kind: "sp", Threads: 16, Scale: 0.25, Seed: 42}
+	j := Job{Bench: "ocean", Kind: "sp", RunConfig: runcfg.RunConfig{Threads: 16, Scale: 0.25, Seed: 42}}
 	cases := map[string]func(t *testing.T, dir string){
 		"truncated": func(t *testing.T, dir string) {
 			path := filepath.Join(dir, j.Digest()+".json")

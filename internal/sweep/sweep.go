@@ -29,29 +29,42 @@ import (
 	"encoding/json"
 	"sort"
 	"strconv"
+
+	"spcoh/internal/runcfg"
 )
 
 // Job is one independent cell of a sweep matrix: a single simulation of
 // one benchmark under one predictor/protocol configuration at a given
 // thread count, workload scale and seed.
+//
+// The embedded RunConfig inlines its fields into the job's canonical JSON
+// exactly where the old hand-declared threads/scale/seed/metrics_epoch
+// fields sat, so Digest — and therefore every previously-recorded artifact
+// address — is unchanged by the consolidation.
 type Job struct {
-	Bench   string  `json:"bench"`
-	Kind    string  `json:"kind"`
-	Threads int     `json:"threads"`
-	Scale   float64 `json:"scale"`
-	Seed    int64   `json:"seed"`
+	Bench string `json:"bench"`
+	Kind  string `json:"kind"`
 
-	// MetricsEpoch, when non-zero, runs the cell with the run-time metrics
-	// collector at this sampling epoch, so its artifact carries the
-	// phase-resolved time-series. omitempty keeps the canonical spec — and
-	// therefore Key and Digest — of metrics-free jobs identical to those of
-	// sweeps recorded before this field existed (resume compatibility).
-	MetricsEpoch uint64 `json:"metrics_epoch,omitempty"`
+	runcfg.RunConfig
+
+	// SpecDigest, when non-empty, marks a scenario-spec cell: Bench is the
+	// spec's name and the program is built from the spec file rather than a
+	// built-in profile. The digest — not the path — joins the identity, so
+	// moving a spec file preserves its artifacts while editing it forces
+	// recomputation. omitempty keeps built-in cells' digests unchanged.
+	SpecDigest string `json:"spec,omitempty"`
+
+	// SpecPath locates the spec file at execution time. Transport only:
+	// excluded from the canonical encoding (identity is SpecDigest) and
+	// re-resolved from the matrix on resume.
+	SpecPath string `json:"-"`
 }
 
 // Key returns the canonical sortable identity of the job, e.g.
 // "ocean/sp/t16/x0.25/s42". Reports and merged outputs are ordered by
-// this key. Metrics-enabled cells append "/m<epoch>".
+// this key. Metrics-enabled cells append "/m<epoch>"; scenario-spec cells
+// append "/g<digest prefix>" (distinct spec contents must not collide even
+// if their names do).
 func (j Job) Key() string {
 	key := j.Bench + "/" + j.Kind +
 		"/t" + strconv.Itoa(j.Threads) +
@@ -59,6 +72,13 @@ func (j Job) Key() string {
 		"/s" + strconv.FormatInt(j.Seed, 10)
 	if j.MetricsEpoch != 0 {
 		key += "/m" + strconv.FormatUint(j.MetricsEpoch, 10)
+	}
+	if j.SpecDigest != "" {
+		d := j.SpecDigest
+		if len(d) > 12 {
+			d = d[:12]
+		}
+		key += "/g" + d
 	}
 	return key
 }
@@ -77,9 +97,24 @@ func (j Job) Digest() string {
 	return hex.EncodeToString(sum[:])
 }
 
+// SpecRef names one scenario-spec workload of a sweep: resolved (digest
+// computed, name read) when the matrix is assembled, so expansion and
+// resume never re-read spec files to identify cells. Path is recorded in
+// the manifest for resume to locate the file again.
+type SpecRef struct {
+	Name   string `json:"name"`
+	Path   string `json:"path"`
+	Digest string `json:"digest"`
+}
+
 // Matrix spans a sweep: the cross product of its dimensions.
 type Matrix struct {
-	Benches []string  `json:"benches"`
+	Benches []string `json:"benches"`
+
+	// Specs adds scenario-spec workloads alongside the built-in benchmarks;
+	// each crosses the same kinds × scales × seeds dimensions.
+	Specs []SpecRef `json:"specs,omitempty"`
+
 	Kinds   []string  `json:"kinds"`
 	Seeds   []int64   `json:"seeds"`
 	Scales  []float64 `json:"scales"`
@@ -95,15 +130,22 @@ type Matrix struct {
 func (m Matrix) Jobs() []Job {
 	seen := make(map[string]bool)
 	var jobs []Job
-	for _, b := range m.Benches {
-		for _, k := range m.Kinds {
-			for _, sc := range m.Scales {
-				for _, sd := range m.Seeds {
-					j := Job{Bench: b, Kind: k, Threads: m.Threads, Scale: sc, Seed: sd, MetricsEpoch: m.MetricsEpoch}
-					if key := j.Key(); !seen[key] {
-						seen[key] = true
-						jobs = append(jobs, j)
-					}
+	add := func(j Job) {
+		if key := j.Key(); !seen[key] {
+			seen[key] = true
+			jobs = append(jobs, j)
+		}
+	}
+	for _, k := range m.Kinds {
+		for _, sc := range m.Scales {
+			for _, sd := range m.Seeds {
+				rc := runcfg.RunConfig{Threads: m.Threads, Scale: sc, Seed: sd, MetricsEpoch: m.MetricsEpoch}
+				for _, b := range m.Benches {
+					add(Job{Bench: b, Kind: k, RunConfig: rc})
+				}
+				for _, ref := range m.Specs {
+					add(Job{Bench: ref.Name, Kind: k, RunConfig: rc,
+						SpecDigest: ref.Digest, SpecPath: ref.Path})
 				}
 			}
 		}

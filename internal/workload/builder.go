@@ -77,6 +77,11 @@ func (b *Builder) ForAll(body func(t *T)) {
 	}
 }
 
+// Thread returns the stream builder for one thread. Emitting through
+// Thread(tid) in ascending tid order is equivalent to one ForAll pass —
+// the spec interpreter uses it to drive per-thread emission.
+func (b *Builder) Thread(tid int) *T { return &T{b: b, tid: tid} }
+
 // Finish appends program termination and returns the program.
 func (b *Builder) Finish(staticBarriers, staticCS int) *Program {
 	for tid := 0; tid < b.n; tid++ {

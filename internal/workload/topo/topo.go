@@ -1,0 +1,40 @@
+// Package topo holds the small thread-topology and scaling helpers shared
+// by the workload profiles and the declarative scenario layer: ring
+// neighbors, binary-tree edges and the iteration-count scaling rule. They
+// are pure integer functions with Go arithmetic semantics (truncating
+// division), so spec-driven and Go-coded workloads compute identical
+// targets.
+package topo
+
+// ScaleIters scales a profile's base iteration count by the workload scale
+// factor, rounding to nearest and clamping to a floor of 2 so even tiny
+// scales produce a program with at least one produce/consume round trip.
+func ScaleIters(iters int, scale float64) int {
+	n := int(float64(iters)*scale + 0.5)
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+// East returns i's clockwise ring neighbor among n threads.
+func East(i, n int) int { return (i + 1) % n }
+
+// West returns i's counter-clockwise ring neighbor among n threads.
+func West(i, n int) int { return (i - 1 + n) % n }
+
+// Parent returns i's parent in the implicit binary tree rooted at 0. The
+// root's parent is itself (Go's truncating division: (0-1)/2 == 0).
+func Parent(i int) int { return (i - 1) / 2 }
+
+// Child returns i's k-th child (k = 0 or 1) in the implicit binary tree
+// over n threads, wrapping children past the leaf boundary back into
+// range so every thread always has two in-range "children" to exchange
+// with.
+func Child(i, k, n int) int {
+	c := 2*i + 1 + k
+	if c >= n {
+		c = c % n
+	}
+	return c
+}

@@ -1,0 +1,86 @@
+package topo
+
+import "testing"
+
+func TestScaleIters(t *testing.T) {
+	for _, tc := range []struct {
+		iters int
+		scale float64
+		want  int
+	}{
+		{28, 1.0, 28},
+		{28, 0.5, 14},
+		{37, 0.25, 9},   // 9.25 rounds down
+		{26, 0.05, 2},   // 1.3 clamps to the floor
+		{3, 0.05, 2},    // sub-floor result clamps
+		{2, 1.0, 2},     //
+		{10, 0.05, 2},   // 0.5 rounds to 1, clamps to 2
+		{95, 0.05, 5},   // 4.75 rounds to 5
+		{420, 0.05, 21}, //
+		{1, 10.0, 10},   // scaling up
+	} {
+		if got := ScaleIters(tc.iters, tc.scale); got != tc.want {
+			t.Errorf("ScaleIters(%d, %g) = %d, want %d", tc.iters, tc.scale, got, tc.want)
+		}
+	}
+}
+
+func TestRingNeighbors(t *testing.T) {
+	for _, tc := range []struct {
+		i, n, east, west int
+	}{
+		{0, 4, 1, 3},  // west wraps around
+		{3, 4, 0, 2},  // east wraps around
+		{0, 1, 0, 0},  // single thread: self-loop
+		{7, 16, 8, 6}, // interior
+		{15, 16, 0, 14},
+	} {
+		if got := East(tc.i, tc.n); got != tc.east {
+			t.Errorf("East(%d, %d) = %d, want %d", tc.i, tc.n, got, tc.east)
+		}
+		if got := West(tc.i, tc.n); got != tc.west {
+			t.Errorf("West(%d, %d) = %d, want %d", tc.i, tc.n, got, tc.west)
+		}
+	}
+	// East and West invert each other across a full ring.
+	const n = 16
+	for i := 0; i < n; i++ {
+		if West(East(i, n), n) != i {
+			t.Errorf("West(East(%d)) != %d", i, i)
+		}
+	}
+}
+
+func TestTreeEdges(t *testing.T) {
+	// Root: parent of 0 is 0 (truncating division), not -1.
+	if got := Parent(0); got != 0 {
+		t.Errorf("Parent(0) = %d, want 0", got)
+	}
+	for _, tc := range []struct{ i, parent int }{
+		{1, 0}, {2, 0}, {3, 1}, {4, 1}, {5, 2}, {6, 2}, {14, 6}, {15, 7},
+	} {
+		if got := Parent(tc.i); got != tc.parent {
+			t.Errorf("Parent(%d) = %d, want %d", tc.i, got, tc.parent)
+		}
+	}
+	// Interior children are the inverse of Parent.
+	const n = 16
+	for i := 0; i < n; i++ {
+		for k := 0; k < 2; k++ {
+			c := Child(i, k, n)
+			if c < 0 || c >= n {
+				t.Fatalf("Child(%d,%d,%d) = %d out of range", i, k, n, c)
+			}
+			if raw := 2*i + 1 + k; raw < n && Parent(c) != i {
+				t.Errorf("Parent(Child(%d,%d)) = %d, want %d", i, k, Parent(c), i)
+			}
+		}
+	}
+	// Leaf children wrap back into range via modulo.
+	if got := Child(8, 0, 16); got != (2*8+1)%16 {
+		t.Errorf("leaf Child(8,0,16) = %d, want %d", got, (2*8+1)%16)
+	}
+	if got := Child(15, 1, 16); got != (2*15+2)%16 {
+		t.Errorf("leaf Child(15,1,16) = %d, want %d", got, (2*15+2)%16)
+	}
+}

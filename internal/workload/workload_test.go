@@ -236,10 +236,48 @@ func TestDeterministicBuild(t *testing.T) {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	if len(sortedNames()) != len(Names()) {
-		t.Fatalf("registry (%d) and Names (%d) out of sync", len(sortedNames()), len(Names()))
+	r := Builtin()
+	if len(r.Names()) != len(Names()) {
+		t.Fatalf("registry (%d) and Names (%d) out of sync", len(r.Names()), len(Names()))
+	}
+	for _, name := range Names() {
+		p, ok := r.Lookup(name)
+		if !ok {
+			t.Fatalf("registry missing %q", name)
+		}
+		if p.Spec == nil || p.Spec.Name != name {
+			t.Fatalf("%q: bad spec binding", name)
+		}
+		if p.Paper.DynEpochs == 0 {
+			t.Fatalf("%q: missing paper reference stats", name)
+		}
 	}
 	if _, err := ByName("nope"); err == nil {
 		t.Fatal("unknown benchmark should error")
+	}
+}
+
+func TestRegistryRejects(t *testing.T) {
+	r := NewRegistry()
+	p, err := ByName("ocean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(p); err != nil {
+		t.Fatalf("first register: %v", err)
+	}
+	if err := r.Register(p); err == nil {
+		t.Fatal("duplicate register should error")
+	}
+	if err := r.Register(Profile{Name: "nospec"}); err == nil {
+		t.Fatal("nil spec should error")
+	}
+	bad := *p.Spec
+	bad.Name = "other"
+	if err := r.Register(Profile{Name: "mismatch", Spec: &bad}); err == nil {
+		t.Fatal("name/spec mismatch should error")
+	}
+	if got := r.Names(); len(got) != 1 || got[0] != "ocean" {
+		t.Fatalf("registration order = %v", got)
 	}
 }

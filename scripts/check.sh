@@ -21,6 +21,11 @@
 #   spsweep smoke quick-scale sweep end to end: run, resume (must recall
 #                 every cell from the store), byte-compare the merged
 #                 outputs, status must report all cells complete
+#   spscen smoke  scenario layer end to end: the embedded profile specs
+#                 validate and build, a 50-seed generator fuzz sweep
+#                 (validity + determinism + buildability), and a generated
+#                 spec piped through spsim -spec twice must render
+#                 byte-identically
 #   spstat smoke  metrics pipeline end to end: a small instrumented run
 #                 twice (series must be byte-identical), spstat -validate
 #                 (epochs monotone/contiguous), JSON decode, and the
@@ -96,8 +101,20 @@ grep -q "4 cached, 0 executed, 0 failed" "$sweepdir/run2.log" || {
     exit 1
 }
 
-echo "== spstat smoke (metrics series determinism / validate / overhead)"
+echo "== spscen smoke (builtin specs / generator fuzz / spec replay determinism)"
+go build -o "$sweepdir/spscen" ./cmd/spscen
 go build -o "$sweepdir/spsim" ./cmd/spsim
+"$sweepdir/spscen" validate -builtin
+"$sweepdir/spscen" fuzz -n 50 -seed 1
+"$sweepdir/spscen" gen -seed 7 > "$sweepdir/fuzz7.json"
+"$sweepdir/spsim" -spec "$sweepdir/fuzz7.json" -pred sp > "$sweepdir/spec1.txt"
+"$sweepdir/spscen" gen -seed 7 | "$sweepdir/spsim" -spec - -pred sp > "$sweepdir/spec2.txt"
+cmp "$sweepdir/spec1.txt" "$sweepdir/spec2.txt" || {
+    echo "spscen: generated-spec replay is not deterministic" >&2
+    exit 1
+}
+
+echo "== spstat smoke (metrics series determinism / validate / overhead)"
 go build -o "$sweepdir/spstat" ./cmd/spstat
 "$sweepdir/spsim" -bench x264 -pred sp -scale 0.05 \
     -metrics-epoch 2000 -metrics-out "$sweepdir/series1.json" \
