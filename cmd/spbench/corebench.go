@@ -26,6 +26,7 @@ type coreCell struct {
 
 // coreRecord is one measurement pass over every cell.
 type coreRecord struct {
+	When         string     `json:"when,omitempty"` // RFC 3339, recorded at measurement time
 	Runs         int        `json:"runs"`
 	Scale        float64    `json:"scale"`
 	Seed         int64      `json:"seed"`
@@ -33,15 +34,23 @@ type coreRecord struct {
 	CyclesPerSec float64    `json:"cycles_per_sec"` // aggregate: Σcycles / Σwall
 }
 
-// coreFile is the before/after record results/BENCH_core.json holds: the
-// baseline is written once (first invocation on the pre-optimization tree)
-// and preserved by every later refresh, so the speedup is always measured
-// against the same fixed point.
+// coreFile is the perf record results/BENCH_core.json holds. The baseline
+// is written once (first invocation on the pre-optimization tree) and
+// preserved by every later refresh, so the speedup is always measured
+// against the same fixed point; Current mirrors the last History entry
+// for tools reading the old before/after shape. History accumulates one
+// record per invocation (oldest first), so the file carries the
+// repository's performance trajectory instead of only its endpoints.
 type coreFile struct {
-	Baseline *coreRecord `json:"baseline"`
-	Current  *coreRecord `json:"current"`
-	Speedup  float64     `json:"speedup"` // current vs baseline aggregate cycles/sec
+	Baseline *coreRecord  `json:"baseline"`
+	Current  *coreRecord  `json:"current"`
+	Speedup  float64      `json:"speedup"` // current vs baseline aggregate cycles/sec
+	History  []coreRecord `json:"history,omitempty"`
 }
+
+// coreHistoryCap bounds the trend record; the oldest entries roll off
+// (the baseline is kept separately and never rolls).
+const coreHistoryCap = 200
 
 // coreCells is the fixed measurement matrix: the baseline directory
 // protocol, the paper's SP-predictor configuration (the headline cell the
@@ -117,6 +126,7 @@ func runCoreBench(out string, runs int, scale float64, seed int64) error {
 		totNanos += cell.WallNanos
 	}
 	rec.CyclesPerSec = float64(totCycles) / (float64(totNanos) / 1e9)
+	rec.When = time.Now().UTC().Format(time.RFC3339)
 
 	file := &coreFile{}
 	if b, err := os.ReadFile(out); err == nil {
@@ -127,10 +137,20 @@ func runCoreBench(out string, runs int, scale float64, seed int64) error {
 	if file.Baseline == nil {
 		file.Baseline = rec
 	}
+	// Append to the trend instead of overwriting the single before/after
+	// pair; a file written by the old shape starts its history from its
+	// Current record so no measurement is dropped.
+	if len(file.History) == 0 && file.Current != nil {
+		file.History = append(file.History, *file.Current)
+	}
+	file.History = append(file.History, *rec)
+	if n := len(file.History); n > coreHistoryCap {
+		file.History = append(file.History[:0], file.History[n-coreHistoryCap:]...)
+	}
 	file.Current = rec
 	file.Speedup = file.Current.CyclesPerSec / file.Baseline.CyclesPerSec
-	fmt.Fprintf(os.Stderr, "core-bench: aggregate %.0f cycles/s (%.2fx vs baseline %.0f)\n",
-		file.Current.CyclesPerSec, file.Speedup, file.Baseline.CyclesPerSec)
+	fmt.Fprintf(os.Stderr, "core-bench: aggregate %.0f cycles/s (%.2fx vs baseline %.0f, %d records)\n",
+		file.Current.CyclesPerSec, file.Speedup, file.Baseline.CyclesPerSec, len(file.History))
 
 	if err := os.MkdirAll(filepath.Dir(out), 0o755); err != nil {
 		return err

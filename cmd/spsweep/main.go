@@ -12,12 +12,18 @@
 //	               [-summary results/BENCH_sweep.json]
 //	spsweep resume [-jobs N] [-timeout ...] [-retries ...] [-dir ...]
 //	               [-format ...] [-summary ...]       # continue an interrupted sweep
-//	spsweep status [-dir ...]                         # completion state of the store
+//	spsweep status [-dir ...] | [-server URL [-sweep ID]]
+//	                                                  # completion state; exits non-zero
+//	                                                  # when any cell terminally failed
 //	spsweep list   [matrix flags]                     # expanded jobs + digests
+//	spsweep run     -server URL [matrix flags]        # submit to spsweepd, stream, merge
+//	spsweep work    -server URL [-jobs N] [-drain]    # remote worker: lease/execute/push
+//	spsweep results -server URL [-sweep ID]           # fetch a finished sweep's merge
 //
 // The merged output (stdout) is sorted by job key and byte-identical for
-// any -jobs value; timing and scheduling details go to stderr and the
-// -summary file.
+// any -jobs value — and, in server mode, for any worker count,
+// distribution or server restart; timing and scheduling details go to
+// stderr and the -summary file.
 package main
 
 import (
@@ -31,6 +37,7 @@ import (
 	"strings"
 	"syscall"
 
+	"spcoh/internal/detutil"
 	"spcoh/internal/experiments"
 	"spcoh/internal/scenario"
 	"spcoh/internal/sim"
@@ -53,6 +60,10 @@ func main() {
 		err = cmdStatus(os.Args[2:])
 	case "list":
 		err = cmdList(os.Args[2:])
+	case "work":
+		err = cmdWork(os.Args[2:])
+	case "results":
+		err = cmdResults(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -68,12 +79,16 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: spsweep <run|resume|status|list> [flags]
+	fmt.Fprintln(os.Stderr, `usage: spsweep <run|resume|status|list|work|results> [flags]
 
   run     execute a sweep matrix, checkpointing each finished job
+          (-server URL submits it to a spsweepd daemon instead)
   resume  continue the interrupted sweep recorded in the store's manifest
-  status  report completion state of a store
+  status  report completion state of a store or a spsweepd server;
+          exits non-zero when any cell terminally failed
   list    print the expanded job matrix and digests
+  work    serve a spsweepd daemon as a remote worker (lease/execute/push)
+  results fetch a finished sweep's merged results from a spsweepd server
 
 Run 'spsweep <subcommand> -h' for flags.`)
 }
@@ -214,16 +229,30 @@ func cmdRun(args []string, resume bool) error {
 	}
 	fs := flag.NewFlagSet("spsweep "+name, flag.ExitOnError)
 	var mf *matrixFlags
+	var server *string
 	if !resume {
 		mf = addMatrixFlags(fs)
+		server = fs.String("server", "", "submit to this spsweepd base URL instead of running locally")
 	}
 	jobs := fs.Int("jobs", runtime.NumCPU(), "worker pool size")
 	timeout := fs.Duration("timeout", 0, "per-attempt wall-clock timeout (0 = none)")
 	retries := fs.Int("retries", 0, "additional attempts after a failed one")
+	backoff := fs.Duration("backoff", 0, "base delay before retry attempts, jittered (0 = none)")
+	backoffSeed := fs.Int64("backoff-seed", 0, "seed for the retry jitter")
 	dir := fs.String("dir", "results/sweep", "artifact store directory")
 	format := fs.String("format", "table", "merged output format: table|csv|json")
 	summary := fs.String("summary", "results/BENCH_sweep.json", `summary JSON path ("" disables)`)
 	fs.Parse(args)
+
+	if !resume && *server != "" {
+		matrix, err := mf.matrix()
+		if err != nil {
+			return err
+		}
+		ctx, stop := signalContext()
+		defer stop()
+		return serverRun(ctx, *server, matrix, *format)
+	}
 
 	store, err := sweep.Open(*dir)
 	if err != nil {
@@ -259,10 +288,12 @@ func cmdRun(args []string, resume bool) error {
 
 	done := 0
 	opt := sweep.Options{
-		Workers: *jobs,
-		Timeout: *timeout,
-		Retries: *retries,
-		Store:   store,
+		Workers:     *jobs,
+		Timeout:     *timeout,
+		Retries:     *retries,
+		Backoff:     *backoff,
+		BackoffSeed: *backoffSeed,
+		Store:       store,
 		Progress: func(jr sweep.JobResult) {
 			done++
 			state := "ok"
@@ -313,8 +344,14 @@ func cmdRun(args []string, resume bool) error {
 func cmdStatus(args []string) error {
 	fs := flag.NewFlagSet("spsweep status", flag.ExitOnError)
 	dir := fs.String("dir", "results/sweep", "artifact store directory")
-	verbose := fs.Bool("v", false, "list pending job keys")
+	server := fs.String("server", "", "query this spsweepd base URL instead of a local store")
+	sweepID := fs.String("sweep", "", "with -server: show one sweep's jobs")
+	verbose := fs.Bool("v", false, "list pending job keys (with -server: done jobs too)")
 	fs.Parse(args)
+
+	if *server != "" {
+		return serverStatus(*server, *sweepID, *verbose)
+	}
 
 	store, err := sweep.Open(*dir)
 	if err != nil {
@@ -349,7 +386,26 @@ func cmdStatus(args []string) error {
 	if pending > 0 {
 		fmt.Printf("hint:     spsweep resume -dir %s\n", *dir)
 	}
+	// The failure ledger gates the exit code: cells that exhausted their
+	// attempts make status fail, so CI distinguishes "interrupted, resume
+	// will finish" (exit 0 with pending jobs) from "broken" (exit 1).
+	if failed := store.FailedCells(); len(failed) > 0 {
+		for _, k := range detutil.SortedKeys(failed) {
+			fmt.Printf("failed:   %-48s %s\n", k, failed[k])
+		}
+		return fmt.Errorf("%d job(s) terminally failed", len(failed))
+	}
 	return nil
+}
+
+// newFlagSet builds a flag set with the conventional error mode.
+func newFlagSet(name string) *flag.FlagSet {
+	return flag.NewFlagSet(name, flag.ExitOnError)
+}
+
+// signalContext is the conventional SIGINT/SIGTERM run context.
+func signalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 }
 
 func cmdList(args []string) error {

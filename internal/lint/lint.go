@@ -253,13 +253,22 @@ func (m *ModulePass) Loaded() []*Package {
 // packages for a module: everything under internal/ is DES-driven code
 // that must replay bit-identically, except
 //
-//   - internal/lint — the analyzer itself, and
+//   - internal/lint — the analyzer itself,
 //   - internal/sweep — the host-side sweep orchestrator, which runs
 //     *above* the DES: it schedules whole simulations onto OS threads and
 //     is explicitly concurrent. Every job it runs is still a
 //     single-threaded simulation, and its merge order stays deterministic
 //     via the always-on maprange/floatorder checks plus the package's
-//     determinism tests.
+//     determinism tests, and
+//   - internal/sweepd — the sweep job server, the same orchestration tier
+//     one level up: leases, wall-clock TTLs and HTTP are its job. Its
+//     merge endpoint stays byte-deterministic for the same reason the
+//     local engine's does (content-addressed results, key-ordered merge),
+//     enforced by its determinism tests rather than by SimOnly checks.
+//
+// Exemptions match whole path segments (the package itself or anything
+// under it) — "/internal/sweep" must not accidentally cover a sibling
+// like "/internal/sweepd"; that package earns its own entry.
 //
 // CLIs and examples may read the host clock for progress reporting, but
 // still get maprange/floatorder scrutiny.
@@ -268,8 +277,9 @@ func DefaultIsSim(modPath string) func(importPath string) bool {
 		if !strings.HasPrefix(path, modPath+"/internal/") {
 			return false
 		}
-		for _, exempt := range []string{"/internal/lint", "/internal/sweep"} {
-			if strings.HasPrefix(path, modPath+exempt) {
+		for _, exempt := range []string{"/internal/lint", "/internal/sweep", "/internal/sweepd"} {
+			root := modPath + exempt
+			if path == root || strings.HasPrefix(path, root+"/") {
 				return false
 			}
 		}

@@ -1,0 +1,105 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"spcoh/internal/sim"
+)
+
+func TestRetryDelayPureAndBounded(t *testing.T) {
+	const base = time.Second
+
+	// Pure: the same inputs always produce the same delay.
+	for _, key := range []string{"ocean/sp/t16/x0.25/s42", "fmm/dir/t16/x1/s7"} {
+		for attempt := 2; attempt <= 6; attempt++ {
+			a := RetryDelay(key, attempt, base, 99)
+			b := RetryDelay(key, attempt, base, 99)
+			if a != b {
+				t.Fatalf("RetryDelay(%q, %d) not deterministic: %v vs %v", key, attempt, a, b)
+			}
+			// Bounded by the jitter envelope around base << (attempt-2).
+			lo := time.Duration(float64(base<<(attempt-2)) * 0.5)
+			hi := time.Duration(float64(base<<(attempt-2)) * 1.5)
+			if a < lo || a >= hi {
+				t.Fatalf("RetryDelay(%q, %d) = %v outside [%v, %v)", key, attempt, a, lo, hi)
+			}
+		}
+	}
+
+	// The first attempt and a zero base never wait.
+	if d := RetryDelay("k", 1, base, 0); d != 0 {
+		t.Fatalf("attempt 1 delayed %v", d)
+	}
+	if d := RetryDelay("k", 3, 0, 0); d != 0 {
+		t.Fatalf("zero base delayed %v", d)
+	}
+
+	// Different seeds and different keys decorrelate the jitter (with the
+	// same exponent the raw delay would otherwise collide).
+	if RetryDelay("k", 2, base, 1) == RetryDelay("k", 2, base, 2) &&
+		RetryDelay("k", 3, base, 1) == RetryDelay("k", 3, base, 2) {
+		t.Fatal("seed does not influence the jitter")
+	}
+	if RetryDelay("a", 2, base, 0) == RetryDelay("b", 2, base, 0) &&
+		RetryDelay("a", 3, base, 0) == RetryDelay("b", 3, base, 0) {
+		t.Fatal("key does not influence the jitter")
+	}
+
+	// The exponent caps: absurd attempt numbers must not overflow.
+	if d := RetryDelay("k", 1000, time.Millisecond, 0); d <= 0 || d > time.Duration(1)<<40 {
+		t.Fatalf("capped delay out of range: %v", d)
+	}
+}
+
+func TestExecutorAppliesBackoffBetweenAttempts(t *testing.T) {
+	j := testMatrix().Jobs()[0]
+
+	attempts := 0
+	exec := &Executor{
+		Run: func(Job) (*sim.Result, error) {
+			attempts++
+			if attempts < 3 {
+				return nil, errors.New("transient")
+			}
+			return fakeResult(j), nil
+		},
+		Retries:     2,
+		Backoff:     5 * time.Millisecond,
+		BackoffSeed: 7,
+	}
+	start := time.Now()
+	jr := exec.Do(context.Background(), j)
+	if jr.Err != nil || jr.Attempts != 3 {
+		t.Fatalf("executor: err=%v attempts=%d", jr.Err, jr.Attempts)
+	}
+	// Attempts 2 and 3 each waited RetryDelay(key, k, 5ms, 7).
+	want := RetryDelay(j.Key(), 2, 5*time.Millisecond, 7) + RetryDelay(j.Key(), 3, 5*time.Millisecond, 7)
+	if elapsed := time.Since(start); elapsed < want {
+		t.Fatalf("executor waited %v, schedule demands at least %v", elapsed, want)
+	}
+}
+
+func TestBackoffSleepIsInterruptible(t *testing.T) {
+	j := testMatrix().Jobs()[0]
+	exec := &Executor{
+		Run:     func(Job) (*sim.Result, error) { return nil, errors.New("always") },
+		Retries: 5,
+		Backoff: time.Hour, // would sleep forever without cancellation
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan JobResult, 1)
+	go func() { done <- exec.Do(ctx, j) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case jr := <-done:
+		if jr.Err == nil || !errors.Is(jr.Err, context.Canceled) {
+			t.Fatalf("canceled backoff: err=%v", jr.Err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("backoff sleep ignored cancellation")
+	}
+}

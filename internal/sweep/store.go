@@ -47,6 +47,18 @@ type Manifest struct {
 	MatrixDigest string                   `json:"matrix_digest,omitempty"`
 	Matrix       *Matrix                  `json:"matrix,omitempty"`
 	Jobs         map[string]ManifestEntry `json:"jobs"`
+
+	// Sweeps registers every matrix submitted to a sweepd server sharing
+	// this store, keyed by matrix digest. A restarted server re-adopts
+	// them and resumes with zero recomputation. Additive: local
+	// spsweep run/resume keep using the singular Matrix field.
+	Sweeps map[string]*Matrix `json:"sweeps,omitempty"`
+
+	// Failed is the failure ledger: job key → last error message for
+	// cells whose final attempt cycle failed. A later successful Put
+	// clears the key. spsweep status gates its exit code on this, so CI
+	// can distinguish "interrupted" from "broken".
+	Failed map[string]string `json:"failed,omitempty"`
 }
 
 // ManifestEntry records one completed job.
@@ -157,7 +169,63 @@ func (s *Store) Put(j Job, res *sim.Result) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.man.Jobs[j.Key()] = ManifestEntry{Digest: digest, Checksum: checksum(b), Seed: j.Seed}
+	delete(s.man.Failed, j.Key()) // success clears the failure ledger
 	return s.saveLocked()
+}
+
+// MarkFailed records a job's terminal failure (all attempts exhausted) in
+// the manifest's failure ledger. A later successful Put clears it.
+func (s *Store) MarkFailed(j Job, msg string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.man.Failed == nil {
+		s.man.Failed = make(map[string]string)
+	}
+	s.man.Failed[j.Key()] = msg
+	return s.saveLocked()
+}
+
+// FailedCells returns a copy of the failure ledger: job key → last error.
+func (s *Store) FailedCells() map[string]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]string, len(s.man.Failed))
+	for _, k := range detutil.SortedKeys(s.man.Failed) {
+		out[k] = s.man.Failed[k]
+	}
+	return out
+}
+
+// AddSweep registers a sweepd-submitted matrix under its digest so a
+// restarted server can re-adopt it. Registering the same matrix twice is
+// a no-op.
+func (s *Store) AddSweep(m Matrix) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.man.Sweeps == nil {
+		s.man.Sweeps = make(map[string]*Matrix)
+	}
+	mm := m
+	s.man.Sweeps[m.Digest()] = &mm
+	return s.saveLocked()
+}
+
+// SweepIDs returns the registered sweep digests, sorted.
+func (s *Store) SweepIDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return detutil.SortedKeys(s.man.Sweeps)
+}
+
+// Sweep returns the matrix registered under id.
+func (s *Store) Sweep(id string) (Matrix, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.man.Sweeps[id]
+	if !ok {
+		return Matrix{}, false
+	}
+	return *m, true
 }
 
 // Completed returns the keys of all checkpointed jobs, sorted.

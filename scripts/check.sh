@@ -21,6 +21,11 @@
 #   spsweep smoke quick-scale sweep end to end: run, resume (must recall
 #                 every cell from the store), byte-compare the merged
 #                 outputs, status must report all cells complete
+#   spsweepd smoke the sweep job server end to end: daemon on an ephemeral
+#                 port, the same tiny matrix submitted over HTTP and
+#                 executed by two concurrent remote `spsweep work`
+#                 processes, merged results byte-compared against a local
+#                 `spsweep run -jobs 1` of the same matrix
 #   spscen smoke  scenario layer end to end: the embedded profile specs
 #                 validate and build, a 50-seed generator fuzz sweep
 #                 (validity + determinism + buildability), and a generated
@@ -56,7 +61,8 @@ echo "== go build"
 go build ./...
 
 sweepdir=$(mktemp -d)
-trap 'rm -rf "$sweepdir"' EXIT
+daemon=""
+trap '[ -n "$daemon" ] && kill "$daemon" 2>/dev/null; rm -rf "$sweepdir"' EXIT
 
 echo "== spvet (invariant analysis, baseline-gated)"
 go run ./cmd/spvet -baseline .spvet-baseline.json ./...
@@ -76,7 +82,7 @@ go test ./...
 echo "== go test -race"
 go test -race ./internal/event ./internal/lint ./internal/sim \
     ./internal/stats ./internal/trace ./internal/workload
-go test -race -short ./internal/experiments ./internal/sweep
+go test -race -short ./internal/experiments ./internal/sweep ./internal/sweepd
 
 echo "== spsweep smoke (run / resume / status)"
 go build -o "$sweepdir/spsweep" ./cmd/spsweep
@@ -100,6 +106,68 @@ grep -q "4 cached, 0 executed, 0 failed" "$sweepdir/run2.log" || {
     echo "spsweep: status does not report a complete store" >&2
     exit 1
 }
+
+echo "== spsweepd smoke (server sweep via two remote workers == local run)"
+# Reference: the same matrix through the local engine, one worker.
+"$sweepdir/spsweep" run -bench x264,streamcluster -kinds dir,sp \
+    -scales 0.05 -jobs 1 -dir "$sweepdir/localstore" \
+    -summary "" -format json \
+    > "$sweepdir/local.json" 2> "$sweepdir/local.log"
+go build -o "$sweepdir/spsweepd" ./cmd/spsweepd
+"$sweepdir/spsweepd" -addr 127.0.0.1:0 -addr-file "$sweepdir/addr" \
+    -dir "$sweepdir/serverstore" -workers 0 -lease-ttl 30s -quiet \
+    2> "$sweepdir/spsweepd.log" &
+daemon=$!
+i=0
+while [ ! -s "$sweepdir/addr" ] && [ "$i" -lt 100 ]; do sleep 0.1; i=$((i+1)); done
+[ -s "$sweepdir/addr" ] || {
+    echo "spsweepd: daemon never wrote its address file" >&2
+    cat "$sweepdir/spsweepd.log" >&2
+    exit 1
+}
+server="http://$(cat "$sweepdir/addr")"
+"$sweepdir/spsweep" run -server "$server" -bench x264,streamcluster -kinds dir,sp \
+    -scales 0.05 -format json \
+    > "$sweepdir/server.json" 2> "$sweepdir/serverrun.log" &
+submit=$!
+"$sweepdir/spsweep" work -server "$server" -jobs 1 -poll 100ms -drain \
+    2> "$sweepdir/worker1.log" &
+w1=$!
+"$sweepdir/spsweep" work -server "$server" -jobs 1 -poll 100ms -drain \
+    2> "$sweepdir/worker2.log" &
+w2=$!
+wait "$w1" || { echo "spsweepd: worker 1 failed" >&2; cat "$sweepdir/worker1.log" >&2; exit 1; }
+wait "$w2" || { echo "spsweepd: worker 2 failed" >&2; cat "$sweepdir/worker2.log" >&2; exit 1; }
+wait "$submit" || {
+    echo "spsweepd: server-mode run failed" >&2
+    cat "$sweepdir/serverrun.log" >&2
+    exit 1
+}
+cmp "$sweepdir/server.json" "$sweepdir/local.json" || {
+    echo "spsweepd: server-merged results differ from the local run" >&2
+    exit 1
+}
+# The two workers together executed every cell exactly once (cells are
+# fast, so which worker wins each lease is a race — the count is not).
+ok1=$(grep -c ": ok" "$sweepdir/worker1.log" || true)
+ok2=$(grep -c ": ok" "$sweepdir/worker2.log" || true)
+if [ "$((ok1 + ok2))" -ne 4 ]; then
+    echo "spsweepd: workers executed $ok1+$ok2 cells, want 4" >&2
+    cat "$sweepdir/worker1.log" "$sweepdir/worker2.log" >&2
+    exit 1
+fi
+"$sweepdir/spsweep" status -server "$server" | grep -q "0 pending, 0 leased" || {
+    echo "spsweepd: server status not terminal" >&2
+    exit 1
+}
+"$sweepdir/spsweep" results -server "$server" -format json > "$sweepdir/results.json"
+cmp "$sweepdir/results.json" "$sweepdir/local.json" || {
+    echo "spsweepd: results subcommand bytes differ from the local run" >&2
+    exit 1
+}
+kill "$daemon"
+wait "$daemon" 2>/dev/null || true
+daemon=""
 
 echo "== spscen smoke (builtin specs / generator fuzz / spec replay determinism)"
 go build -o "$sweepdir/spscen" ./cmd/spscen
