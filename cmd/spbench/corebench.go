@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"time"
 
 	"spcoh/internal/core"
@@ -107,7 +108,40 @@ func measureCell(bench, kind string, runs int, scale float64, seed int64) (coreC
 	return cell, nil
 }
 
-func runCoreBench(out string, runs int, scale float64, seed int64) error {
+// rollingGateWindow is how many recent history records the regression
+// gate's rolling baseline spans, and rollingGateMin is the history depth
+// below which the gate stays silent (too little signal to call a trend).
+const (
+	rollingGateWindow = 5
+	rollingGateMin    = 3
+)
+
+// rollingBaseline returns the median aggregate cycles/s of the most
+// recent records (up to rollingGateWindow) and how many records fed it.
+// A median over several runs absorbs the one-off slow box or noisy
+// neighbor a single before/after comparison would trip on.
+func rollingBaseline(hist []coreRecord) (float64, int) {
+	n := len(hist)
+	if n > rollingGateWindow {
+		hist = hist[n-rollingGateWindow:]
+	}
+	vals := make([]float64, len(hist))
+	for i, r := range hist {
+		vals[i] = r.CyclesPerSec
+	}
+	sort.Float64s(vals)
+	if len(vals) == 0 {
+		return 0, 0
+	}
+	m := len(vals) / 2
+	med := vals[m]
+	if len(vals)%2 == 0 {
+		med = (vals[m-1] + vals[m]) / 2
+	}
+	return med, len(vals)
+}
+
+func runCoreBench(out string, runs int, scale float64, seed int64, gatePct float64) error {
 	if runs < 1 {
 		runs = 1
 	}
@@ -143,6 +177,10 @@ func runCoreBench(out string, runs int, scale float64, seed int64) error {
 	if len(file.History) == 0 && file.Current != nil {
 		file.History = append(file.History, *file.Current)
 	}
+	// The regression gate compares this run against the rolling baseline
+	// of the history BEFORE it — the new record must not vote on its own
+	// acceptability.
+	rollBase, rollN := rollingBaseline(file.History)
 	file.History = append(file.History, *rec)
 	if n := len(file.History); n > coreHistoryCap {
 		file.History = append(file.History[:0], file.History[n-coreHistoryCap:]...)
@@ -159,5 +197,23 @@ func runCoreBench(out string, runs int, scale float64, seed int64) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(out, append(b, '\n'), 0o644)
+	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	// Gate last, after the record is on disk: a failing run still joins
+	// the history, so the trend stays honest and the next investigation
+	// has the data point. The threshold must stay generous — wall time on
+	// shared boxes is noisy even under a median — and the gate only
+	// speaks once the history is deep enough to define a trend.
+	if gatePct > 0 && rollN >= rollingGateMin {
+		floor := rollBase * (1 - gatePct/100)
+		if rec.CyclesPerSec < floor {
+			return fmt.Errorf(
+				"core-bench: aggregate %.0f cycles/s is %.1f%% below the rolling baseline %.0f (median of last %d runs); the -core-gate threshold is %g%%",
+				rec.CyclesPerSec, 100*(1-rec.CyclesPerSec/rollBase), rollBase, rollN, gatePct)
+		}
+		fmt.Fprintf(os.Stderr, "core-bench: regression gate ok: %.0f cycles/s vs rolling baseline %.0f (median of %d, -%g%% floor %.0f)\n",
+			rec.CyclesPerSec, rollBase, rollN, gatePct, floor)
+	}
+	return nil
 }

@@ -62,6 +62,8 @@ func main() {
 	coreOut := flag.String("core-out", "results/BENCH_core.json", "before/after record path for -core-bench")
 	coreRuns := flag.Int("core-runs", 3, "timed repetitions per cell for -core-bench (best run counts)")
 	coreScale := flag.Float64("core-scale", 0.2, "workload scale for -core-bench")
+	coreGate := flag.Float64("core-gate", 0,
+		"fail -core-bench when aggregate cycles/s falls more than this percent below the rolling baseline (median of recent history; 0 = record only)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile here")
 	memprofile := flag.String("memprofile", "", "write an allocation profile here on exit")
 	flag.Parse()
@@ -94,7 +96,7 @@ func main() {
 	}
 
 	if *coreBench {
-		if err := runCoreBench(*coreOut, *coreRuns, *coreScale, *seed); err != nil {
+		if err := runCoreBench(*coreOut, *coreRuns, *coreScale, *seed, *coreGate); err != nil {
 			fmt.Fprintln(os.Stderr, "spbench:", err)
 			os.Exit(1)
 		}

@@ -99,6 +99,7 @@ func main() {
 	specPath := flag.String("spec", "", `scenario spec file instead of a built-in benchmark ("-" = stdin)`)
 	pred := flag.String("pred", "none", "predictor: none|sp|spfilter|addr|inst|uni")
 	proto := flag.String("protocol", "dir", "protocol: dir|bcast")
+	modeFlag := flag.String("mode", "detailed", "simulation fidelity: detailed|fast (fast skips NoC contention; counts stay exact, timing is approximate)")
 	scale := flag.Float64("scale", 0.2, "workload scale factor")
 	seed := flag.Int64("seed", 42, "workload build seed")
 	metricsEpoch := flag.Uint64("metrics-epoch", 0, "metrics sampling epoch in cycles (0 = no metrics)")
@@ -132,6 +133,12 @@ func main() {
 				fmt.Fprintln(os.Stderr, "spsim:", err)
 			}
 		}()
+	}
+
+	mode, err := sim.ParseMode(*modeFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spsim:", err)
+		os.Exit(2)
 	}
 
 	if *metricsOut != "" && *metricsEpoch == 0 {
@@ -204,6 +211,7 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		opt.Mode = mode
 		opt.MetricsEpoch = event.Time(*metricsEpoch)
 		res, err := sim.Run(prog, opt)
 		if err != nil {

@@ -19,6 +19,11 @@
 //	spsweep run     -server URL [matrix flags]        # submit to spsweepd, stream, merge
 //	spsweep work    -server URL [-jobs N] [-drain]    # remote worker: lease/execute/push
 //	spsweep results -server URL [-sweep ID]           # fetch a finished sweep's merge
+//	spsweep xval    [matrix flags] [-jobs N] [-threshold 0.05]
+//	                [-out results/BENCH_xval.json]    # detailed-vs-fast cross-validation
+//
+// Server commands take -token (default $SPSWEEPD_TOKEN) when the daemon
+// requires bearer-token authentication.
 //
 // The merged output (stdout) is sorted by job key and byte-identical for
 // any -jobs value — and, in server mode, for any worker count,
@@ -64,6 +69,8 @@ func main() {
 		err = cmdWork(os.Args[2:])
 	case "results":
 		err = cmdResults(os.Args[2:])
+	case "xval":
+		err = cmdXval(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -79,7 +86,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: spsweep <run|resume|status|list|work|results> [flags]
+	fmt.Fprintln(os.Stderr, `usage: spsweep <run|resume|status|list|work|results|xval> [flags]
 
   run     execute a sweep matrix, checkpointing each finished job
           (-server URL submits it to a spsweepd daemon instead)
@@ -89,6 +96,8 @@ func usage() {
   list    print the expanded job matrix and digests
   work    serve a spsweepd daemon as a remote worker (lease/execute/push)
   results fetch a finished sweep's merged results from a spsweepd server
+  xval    cross-validate: run a matrix in both detailed and fast mode and
+          report the per-cell divergence (DESIGN.md §15)
 
 Run 'spsweep <subcommand> -h' for flags.`)
 }
@@ -100,6 +109,7 @@ type matrixFlags struct {
 	threads                     *int
 	quick                       *bool
 	metricsEpoch                *uint64
+	mode                        *string
 }
 
 func addMatrixFlags(fs *flag.FlagSet) *matrixFlags {
@@ -112,6 +122,7 @@ func addMatrixFlags(fs *flag.FlagSet) *matrixFlags {
 		threads:      fs.Int("threads", 16, "threads per workload (must match the machine's node count)"),
 		quick:        fs.Bool("quick", false, "shorthand for -scales 0.25"),
 		metricsEpoch: fs.Uint64("metrics-epoch", 0, "metrics sampling epoch in cycles for every cell (0 = no metrics)"),
+		mode:         fs.String("mode", "detailed", "simulation fidelity for every cell: detailed|fast (DESIGN.md §15)"),
 	}
 }
 
@@ -181,6 +192,16 @@ func (m *matrixFlags) matrix() (sweep.Matrix, error) {
 		}
 		scaleVals = append(scaleVals, v)
 	}
+	// "detailed" (the flag default) stores as "" so explicit and implicit
+	// default spellings produce one matrix digest.
+	md, err := sim.ParseMode(*m.mode)
+	if err != nil {
+		return sweep.Matrix{}, err
+	}
+	mode := ""
+	if md == sim.ModeFast {
+		mode = string(sim.ModeFast)
+	}
 	return sweep.Matrix{
 		Benches:      benches,
 		Specs:        specRefs,
@@ -189,6 +210,7 @@ func (m *matrixFlags) matrix() (sweep.Matrix, error) {
 		Scales:       scaleVals,
 		Threads:      *m.threads,
 		MetricsEpoch: *m.metricsEpoch,
+		Mode:         mode,
 	}, nil
 }
 
@@ -229,10 +251,11 @@ func cmdRun(args []string, resume bool) error {
 	}
 	fs := flag.NewFlagSet("spsweep "+name, flag.ExitOnError)
 	var mf *matrixFlags
-	var server *string
+	var server, token *string
 	if !resume {
 		mf = addMatrixFlags(fs)
 		server = fs.String("server", "", "submit to this spsweepd base URL instead of running locally")
+		token = serverTokenFlag(fs)
 	}
 	jobs := fs.Int("jobs", runtime.NumCPU(), "worker pool size")
 	timeout := fs.Duration("timeout", 0, "per-attempt wall-clock timeout (0 = none)")
@@ -251,7 +274,7 @@ func cmdRun(args []string, resume bool) error {
 		}
 		ctx, stop := signalContext()
 		defer stop()
-		return serverRun(ctx, *server, matrix, *format)
+		return serverRun(ctx, *server, *token, matrix, *format)
 	}
 
 	store, err := sweep.Open(*dir)
@@ -345,12 +368,13 @@ func cmdStatus(args []string) error {
 	fs := flag.NewFlagSet("spsweep status", flag.ExitOnError)
 	dir := fs.String("dir", "results/sweep", "artifact store directory")
 	server := fs.String("server", "", "query this spsweepd base URL instead of a local store")
+	token := serverTokenFlag(fs)
 	sweepID := fs.String("sweep", "", "with -server: show one sweep's jobs")
 	verbose := fs.Bool("v", false, "list pending job keys (with -server: done jobs too)")
 	fs.Parse(args)
 
 	if *server != "" {
-		return serverStatus(*server, *sweepID, *verbose)
+		return serverStatus(*server, *token, *sweepID, *verbose)
 	}
 
 	store, err := sweep.Open(*dir)

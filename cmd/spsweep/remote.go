@@ -7,6 +7,7 @@ package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"os"
 	"time"
@@ -14,6 +15,22 @@ import (
 	"spcoh/internal/sweep"
 	"spcoh/internal/sweepd"
 )
+
+// serverTokenFlag registers the shared -token flag: the bearer token sent
+// with every request to a spsweepd daemon started with -token.
+func serverTokenFlag(fs *flag.FlagSet) *string {
+	return fs.String("token", os.Getenv("SPSWEEPD_TOKEN"),
+		"bearer token for the spsweepd server (default $SPSWEEPD_TOKEN)")
+}
+
+// serverClient builds a client carrying the token (when set).
+func serverClient(server, token string) *sweepd.Client {
+	c := sweepd.NewClient(server)
+	if token != "" {
+		c.SetToken(token)
+	}
+	return c
+}
 
 // submitMatrix uploads the matrix and its spec files to the server.
 func submitMatrix(c *sweepd.Client, matrix sweep.Matrix) (*sweepd.SubmitResponse, error) {
@@ -32,8 +49,8 @@ func submitMatrix(c *sweepd.Client, matrix sweep.Matrix) (*sweepd.SubmitResponse
 // sweep is terminal (reconnecting through server restarts), then writes
 // the merged results to stdout. Exit status mirrors a local run: an
 // error is returned when any cell failed.
-func serverRun(ctx context.Context, server string, matrix sweep.Matrix, format string) error {
-	c := sweepd.NewClient(server)
+func serverRun(ctx context.Context, server, token string, matrix sweep.Matrix, format string) error {
+	c := serverClient(server, token)
 	sub, err := submitMatrix(c, matrix)
 	if err != nil {
 		return err
@@ -91,8 +108,8 @@ func serverRun(ctx context.Context, server string, matrix sweep.Matrix, format s
 // serverStatus prints the server's sweeps (or one sweep's jobs) and
 // returns an error when any job has terminally failed, mirroring the
 // local status exit-code contract.
-func serverStatus(server, sweepID string, verbose bool) error {
-	c := sweepd.NewClient(server)
+func serverStatus(server, token, sweepID string, verbose bool) error {
+	c := serverClient(server, token)
 	failed := 0
 	if sweepID == "" {
 		list, err := c.List()
@@ -150,6 +167,7 @@ func cmdWork(args []string) error {
 	timeout := fs.Duration("timeout", 0, "per-attempt wall-clock timeout (0 = none)")
 	drain := fs.Bool("drain", false, "exit once the server reports no work left")
 	id := fs.String("id", "", "worker identity shown in attempt histories (default host/pid)")
+	token := serverTokenFlag(fs)
 	fs.Parse(args)
 	if *server == "" {
 		return fmt.Errorf("work: -server is required")
@@ -162,7 +180,7 @@ func cmdWork(args []string) error {
 		*id = fmt.Sprintf("%s.%d", host, os.Getpid())
 	}
 
-	c := sweepd.NewClient(*server)
+	c := serverClient(*server, *token)
 	if err := c.Healthz(); err != nil {
 		return fmt.Errorf("work: server %s unreachable: %w", *server, err)
 	}
@@ -192,11 +210,12 @@ func cmdResults(args []string) error {
 	server := fs.String("server", "", "spsweepd base URL (required)")
 	sweepID := fs.String("sweep", "", "sweep ID (defaults to the server's only sweep)")
 	format := fs.String("format", "table", "output format: table|csv|json")
+	token := serverTokenFlag(fs)
 	fs.Parse(args)
 	if *server == "" {
 		return fmt.Errorf("results: -server is required")
 	}
-	c := sweepd.NewClient(*server)
+	c := serverClient(*server, *token)
 	id := *sweepID
 	if id == "" {
 		list, err := c.List()

@@ -10,10 +10,17 @@
 //	spsweepd [-addr 127.0.0.1:8437] [-addr-file path] [-dir results/sweep]
 //	         [-workers N] [-lease-ttl 1m] [-retries 2] [-timeout 0]
 //	         [-backoff 1s] [-backoff-seed 0] [-poll 200ms] [-quiet]
+//	         [-token T] [-insecure] [-max-body 8388608]
 //
 // -addr-file, written after the listener binds, carries the actual
 // address (useful with ":0" for tests and scripts). See internal/sweepd
 // for the API and the determinism argument.
+//
+// Security: -token (default $SPSWEEPD_TOKEN) requires every API request
+// except /healthz to carry "Authorization: Bearer <token>"; clients pass
+// the matching -token to spsweep's server commands. Binding a non-loopback
+// address without a token is refused unless -insecure explicitly accepts
+// an open daemon. -max-body caps request bodies (oversized ones get 413).
 package main
 
 import (
@@ -52,7 +59,18 @@ func run(args []string) error {
 	backoffSeed := fs.Int64("backoff-seed", 0, "seed for the requeue jitter")
 	poll := fs.Duration("poll", 200*time.Millisecond, "local pool idle lease cadence")
 	quiet := fs.Bool("quiet", false, "suppress per-event log lines")
+	token := fs.String("token", os.Getenv("SPSWEEPD_TOKEN"),
+		"shared bearer token required on every API request (default $SPSWEEPD_TOKEN; empty = no auth)")
+	insecure := fs.Bool("insecure", false,
+		"allow binding a non-loopback address without a token")
+	maxBody := fs.Int64("max-body", 8<<20, "request body size cap in bytes")
 	fs.Parse(args)
+
+	if *token == "" && !*insecure && !loopbackAddr(*addr) {
+		return fmt.Errorf("refusing to serve %q without a token: every host that can reach "+
+			"this address can submit and lease jobs; set -token (or $SPSWEEPD_TOKEN), "+
+			"bind a loopback address, or pass -insecure to accept an open daemon", *addr)
+	}
 
 	store, err := sweep.Open(*dir)
 	if err != nil {
@@ -70,6 +88,8 @@ func run(args []string) error {
 		Timeout:      *timeout,
 		LocalWorkers: *workers,
 		Poll:         *poll,
+		Token:        *token,
+		MaxBodyBytes: *maxBody,
 		Log: func(format string, a ...any) {
 			if !*quiet {
 				logf(format, a...)
@@ -119,4 +139,21 @@ func run(args []string) error {
 	}
 	logf("stopped; completed cells are checkpointed in %s", *dir)
 	return nil
+}
+
+// loopbackAddr reports whether a listen address cannot be reached from
+// another host: an explicit loopback IP or "localhost". An empty host
+// (":8437") binds every interface and is NOT loopback.
+func loopbackAddr(addr string) bool {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		// Unparseable addresses fail at Listen with a better error; don't
+		// block them here.
+		return true
+	}
+	if host == "localhost" {
+		return true
+	}
+	ip := net.ParseIP(host)
+	return ip != nil && ip.IsLoopback()
 }

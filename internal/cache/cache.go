@@ -212,6 +212,18 @@ func (c *Cache) Invalidate(addr arch.LineAddr) (State, bool) {
 	return Invalid, false
 }
 
+// ForEachValid calls fn for every valid line in array order (coherence
+// audit). Purely observational: no LRU or statistics effects.
+func (c *Cache) ForEachValid(fn func(arch.LineAddr, State)) {
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].State.Valid() {
+				fn(set[i].Addr, set[i].State)
+			}
+		}
+	}
+}
+
 // Occupancy returns the number of valid lines (test/debug aid).
 func (c *Cache) Occupancy() int {
 	n := 0

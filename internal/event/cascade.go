@@ -1,0 +1,134 @@
+package event
+
+// Cascade is a self-contained virtual-time event queue for the fast
+// functional simulation mode (DESIGN.md §15): a coherence transaction that
+// the detailed model spreads over many real-clock events is executed as one
+// atomic cascade at a single real instant, with each internal step carrying
+// a virtual timestamp (fixed, contention-free latencies). Entries fire in
+// (virtual time, scheduling order) — the same discipline the real engine
+// guarantees — so a cascade replays the detailed model's delivery order
+// minus contention, deterministically.
+//
+// A Cascade is single-threaded and non-reentrant: Begin, a run of At/After
+// calls from inside firing entries, then Drain. The heap backing is reused
+// across cascades, so steady-state operation allocates nothing.
+type Cascade struct {
+	h      cascHeap
+	seq    uint64
+	vt     Time
+	active bool
+}
+
+// cascEv is one cascade entry. Only the pre-bound form exists: cascades run
+// on hot protocol paths that must not allocate closures.
+type cascEv struct {
+	when Time
+	seq  uint64
+	pfn  ArgFunc
+	arg  any
+}
+
+// cascHeap is a binary min-heap on (when, seq) — monomorphic, like the
+// engine's far-future heap.
+type cascHeap []cascEv
+
+func (h cascHeap) less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+
+//spcoh:noalloc
+func (h *cascHeap) push(e cascEv) {
+	*h = append(*h, e)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+//spcoh:noalloc
+func (h *cascHeap) pop() cascEv {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = cascEv{} // release callback references
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		q[i], q[smallest] = q[smallest], q[i]
+		i = smallest
+	}
+	return top
+}
+
+// Active reports whether a cascade is being drained; clock readers use it to
+// select between the virtual and the real clock.
+func (c *Cascade) Active() bool { return c.active }
+
+// Now returns the cascade's virtual clock. Valid only while Active.
+func (c *Cascade) Now() Time { return c.vt }
+
+// errNestedCascade is pre-boxed so Begin stays allocation-free when inlined
+// into //spcoh:noalloc callers (the panic argument would otherwise escape).
+var errNestedCascade any = "event: nested cascade"
+
+// Begin opens a cascade with the virtual clock at start (the real clock of
+// the event that triggers the transaction).
+func (c *Cascade) Begin(start Time) {
+	if c.active {
+		panic(errNestedCascade)
+	}
+	c.active = true
+	c.vt = start
+	c.seq = 0
+}
+
+// At schedules fn(arg) at virtual time t. Scheduling into the virtual past
+// fires at the current virtual time (mirroring the real engine, where a
+// zero-delay schedule fires in the same cycle).
+//
+//spcoh:noalloc
+func (c *Cascade) At(t Time, fn ArgFunc, arg any) {
+	if t < c.vt {
+		t = c.vt
+	}
+	c.seq++
+	c.h.push(cascEv{when: t, seq: c.seq, pfn: fn, arg: arg})
+}
+
+// After schedules fn(arg) d virtual cycles after the cascade clock.
+//
+//spcoh:noalloc
+func (c *Cascade) After(d Time, fn ArgFunc, arg any) { c.At(c.vt+d, fn, arg) }
+
+// Drain fires entries in (virtual time, scheduling order) until the cascade
+// is empty, then closes it. Entries may schedule further entries.
+func (c *Cascade) Drain() {
+	for len(c.h) > 0 {
+		e := c.h.pop()
+		c.vt = e.when
+		e.pfn(e.arg)
+	}
+	c.active = false
+}

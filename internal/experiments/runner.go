@@ -197,6 +197,9 @@ func (r *Runner) book(bench string) (*core.OracleBook, error) {
 		}
 		b := core.NewOracleBook()
 		opt := sim.DefaultOptions()
+		// The profiling pass runs at the same fidelity as the measurement
+		// run: an oracle cell stays self-consistent within one mode.
+		opt.Mode = sim.Mode(r.Cfg.Mode)
 		opt.Predictors = core.RecorderSystem(core.DefaultConfig(r.Cfg.Threads), b)
 		if _, err := sim.Run(prog, opt); err != nil {
 			return nil, fmt.Errorf("experiments: oracle profiling %s: %w", bench, err)
@@ -215,6 +218,7 @@ func (r *Runner) Run(bench, kind string) (*sim.Result, error) {
 		}
 		opt := sim.DefaultOptions()
 		opt.MetricsEpoch = event.Time(r.Cfg.MetricsEpoch)
+		opt.Mode = sim.Mode(r.Cfg.Mode)
 		if kind == "bcast" {
 			opt.Protocol = sim.Broadcast
 		} else {

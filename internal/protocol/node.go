@@ -161,6 +161,12 @@ type Node struct {
 	mshrs map[arch.LineAddr]*mshr
 	wb    map[arch.LineAddr]*wbEntry
 
+	// memoMshr short-circuits mshrs lookups for the line resolved last:
+	// every reply in one transaction targets the same MSHR (in fast mode the
+	// whole cascade does). Cleared when that MSHR retires.
+	memoLine arch.LineAddr
+	memoMshr *mshr
+
 	// recentPredInv records predicted invalidations that arrived while
 	// this node had neither a copy nor an MSHR — typically a few cycles
 	// before a miss on the same line is issued. The next miss within the
@@ -279,6 +285,65 @@ func (n *Node) Access(pc uint64, addr arch.Addr, write bool, done func()) {
 	n.miss(pc, line, predictor.WriteMiss, done)
 }
 
+// AccessFast is the fast-mode hit path: it resolves L1/L2 hits by returning
+// the access latency for the core to accumulate on its own virtual clock,
+// without touching the event queue. A miss (or upgrade miss) returns
+// ok=false with the caches untouched; the caller re-issues the access
+// through Access, which performs the single authoritative lookup. Hit/miss
+// classification and LRU movement are identical to Access: exactly one
+// mutating Lookup happens per access either way.
+func (n *Node) AccessFast(pc uint64, addr arch.Addr, write bool) (lat event.Time, ok bool) {
+	line := addr.Line()
+	if !write {
+		if n.l1.Lookup(line) != nil {
+			n.stats.Accesses++
+			n.stats.L1Hits++
+			return n.sys.Cfg.L1Latency, true
+		}
+		if n.l2.Lookup(line) != nil {
+			n.stats.Accesses++
+			n.stats.L2Hits++
+			n.l1.Insert(line, cache.Shared)
+			return n.sys.Cfg.L1Latency + n.sys.Cfg.L2HitLatency(), true
+		}
+		return 0, false
+	}
+	// Write: classify with a silent Peek first so that an upgrade miss
+	// (line present in S/F) does not get an extra LRU touch here — the
+	// re-issued Access performs the one mutating Lookup, as in detailed
+	// mode.
+	l := n.l2.Peek(line)
+	if l == nil || (l.State != cache.Modified && l.State != cache.Exclusive) {
+		return 0, false
+	}
+	n.l2.Lookup(line)
+	l.State = cache.Modified // silent E->M upgrade
+	n.stats.Accesses++
+	n.stats.L2Hits++
+	n.l1.Insert(line, cache.Shared)
+	return n.sys.Cfg.L1Latency + n.sys.Cfg.L2HitLatency(), true
+}
+
+// fireCPUDone surfaces a fast-mode miss completion to the CPU at the
+// transaction's virtual completion time (see checkComplete).
+//
+//spcoh:noalloc
+func fireCPUDone(a any) { a.(*mshr).cpuDone() }
+
+// mshrFor is the memoized mshrs lookup (see memoMshr).
+//
+//spcoh:noalloc
+func (n *Node) mshrFor(l arch.LineAddr) (*mshr, bool) {
+	if n.memoMshr != nil && n.memoLine == l {
+		return n.memoMshr, true
+	}
+	m, ok := n.mshrs[l]
+	if ok {
+		n.memoLine, n.memoMshr = l, m
+	}
+	return m, ok
+}
+
 // miss starts (or joins) a coherence transaction for line.
 func (n *Node) miss(pc uint64, line arch.LineAddr, kind predictor.MissKind, done func()) {
 	// An eviction of this line is still in flight: wait for the PutAck,
@@ -289,7 +354,7 @@ func (n *Node) miss(pc uint64, line arch.LineAddr, kind predictor.MissKind, done
 		return
 	}
 	// A miss on this line is already outstanding: retry after it resolves.
-	if m, ok := n.mshrs[line]; ok {
+	if m, ok := n.mshrFor(line); ok {
 		write := kind != predictor.ReadMiss
 		m.waiters = append(m.waiters, func() { n.Access(pc, line.Base(), write, done) })
 		return
@@ -327,6 +392,15 @@ func fireMissIssue(a any) {
 	n, pc, line, kind, done := r.n, r.pc, r.line, r.kind, r.done
 	r.n, r.done = nil, nil // release references before reuse
 	n.sys.missPool = append(n.sys.missPool, r)
+	if n.sys.Fast {
+		// Fast mode: the entire coherence transaction executes as one
+		// atomic cascade at this real-clock instant. Only the CPU-visible
+		// completion (fireCPUDone) rides the real engine afterwards.
+		n.sys.casc.Begin(n.sys.Sim.Now())
+		n.issueMiss(pc, line, kind, done)
+		n.sys.casc.Drain()
+		return
+	}
 	n.issueMiss(pc, line, kind, done)
 }
 
@@ -337,7 +411,7 @@ func (n *Node) issueMiss(pc uint64, line arch.LineAddr, kind predictor.MissKind,
 		n.miss(pc, line, kind, done)
 		return
 	}
-	if _, ok := n.mshrs[line]; ok {
+	if _, ok := n.mshrFor(line); ok {
 		n.miss(pc, line, kind, done)
 		return
 	}
@@ -357,7 +431,7 @@ func (n *Node) issueMiss(pc uint64, line arch.LineAddr, kind predictor.MissKind,
 	set = set.Remove(n.self)
 
 	m := &mshr{
-		line: line, kind: kind, pc: pc, start: n.sys.Sim.Now(),
+		line: line, kind: kind, pc: pc, start: n.sys.clockNow(),
 		predSet: set, predTag: tag, cpuDone: done, needData: kind != predictor.UpgradeMiss,
 		provider: arch.None, supplier: arch.None,
 	}
@@ -369,6 +443,7 @@ func (n *Node) issueMiss(pc uint64, line arch.LineAddr, kind predictor.MissKind,
 	}
 	n.prunePredInv()
 	n.mshrs[line] = m
+	n.memoLine, n.memoMshr = line, m
 
 	// Prediction action (§4.5): multicast to the predicted nodes...
 	reqKind := MsgPredGetS
@@ -448,7 +523,7 @@ func (n *Node) localState(l arch.LineAddr) cache.State {
 func (n *Node) handlePredGetS(m Msg) {
 	n.stats.SnoopLookups++
 	n.trainExternal(m)
-	if _, ok := n.mshrs[m.Line]; ok {
+	if _, ok := n.mshrFor(m.Line); ok {
 		n.sendAfter(n.sys.Cfg.L2TagLatency, Msg{Kind: MsgNack, Dst: m.Requester, Line: m.Line, Requester: m.Requester})
 		return
 	}
@@ -481,7 +556,7 @@ func (n *Node) handlePredGetS(m Msg) {
 func (n *Node) handlePredGetM(m Msg) {
 	n.stats.SnoopLookups++
 	n.trainExternal(m)
-	if ms, ok := n.mshrs[m.Line]; ok {
+	if ms, ok := n.mshrFor(m.Line); ok {
 		// Our own miss on this line is in flight: acknowledge the
 		// invalidation now and poison the eventual fill.
 		ms.poisoned = true
@@ -548,7 +623,7 @@ func (n *Node) invalidateLocal(l arch.LineAddr) {
 }
 
 func (n *Node) handleData(m Msg) {
-	ms, ok := n.mshrs[m.Line]
+	ms, ok := n.mshrFor(m.Line)
 	if !ok {
 		n.stats.DupData++
 		return
@@ -579,7 +654,7 @@ func (n *Node) handleData(m Msg) {
 }
 
 func (n *Node) handleInvAck(m Msg) {
-	ms, ok := n.mshrs[m.Line]
+	ms, ok := n.mshrFor(m.Line)
 	if !ok {
 		return // stale ack from an already-finalized race; harmless
 	}
@@ -591,7 +666,7 @@ func (n *Node) handleInvAck(m Msg) {
 
 func (n *Node) handleNack(m Msg) {
 	n.stats.Nacks++
-	if ms, ok := n.mshrs[m.Line]; ok {
+	if ms, ok := n.mshrFor(m.Line); ok {
 		ms.predOverheadBytes += uint64(ControlBytes)
 		ms.respFrom = ms.respFrom.Add(m.Src)
 		ms.nackFrom = ms.nackFrom.Add(m.Src)
@@ -600,7 +675,7 @@ func (n *Node) handleNack(m Msg) {
 }
 
 func (n *Node) handleDirResp(m Msg) {
-	ms, ok := n.mshrs[m.Line]
+	ms, ok := n.mshrFor(m.Line)
 	if !ok {
 		return
 	}
@@ -629,7 +704,7 @@ func (n *Node) checkComplete(ms *mshr) {
 		ms.acksGot >= ms.acksNeeded && (ms.dataArrived || !ms.needData)
 	if !ms.cpuCalled && (readReady || writeReady) {
 		ms.cpuCalled = true
-		ms.cpuLat = n.sys.Sim.Now() - ms.start
+		ms.cpuLat = n.sys.clockNow() - ms.start
 		lat := uint64(ms.cpuLat)
 		n.stats.MissLatencySum += lat
 		// Communicating status is known reliably only after DirResp; for
@@ -640,7 +715,13 @@ func (n *Node) checkComplete(ms *mshr) {
 		} else {
 			n.stats.NonCommLatencySum += lat
 		}
-		ms.cpuDone()
+		if n.sys.Fast {
+			// The cascade resolves the transaction at one real instant;
+			// surface the completion to the CPU at its virtual time.
+			n.sys.Sim.AtFn(ms.start+ms.cpuLat, fireCPUDone, ms)
+		} else {
+			ms.cpuDone()
+		}
 	}
 	// Retry race (see MsgGetRetry): the directory's data plan relied on a
 	// predicted holder, but that holder turned out unable to forward —
@@ -664,6 +745,9 @@ func (n *Node) checkComplete(ms *mshr) {
 // and replays deferred/waiting work.
 func (n *Node) finalize(ms *mshr) {
 	delete(n.mshrs, ms.line)
+	if n.memoMshr == ms {
+		n.memoMshr = nil
+	}
 
 	// Install the fill.
 	switch ms.kind {

@@ -2,6 +2,7 @@ package protocol
 
 import (
 	"fmt"
+	"sort"
 
 	"spcoh/internal/arch"
 	"spcoh/internal/cache"
@@ -78,6 +79,15 @@ type System struct {
 	Nodes []*Node
 	Dirs  []*DirSlice
 
+	// Fast selects the fast functional mode (DESIGN.md §15): each miss's
+	// coherence transaction executes as one atomic virtual-time cascade
+	// (casc) at a single real-clock instant, with contention-free NoC
+	// latencies; only the CPU-visible completion is deferred to the real
+	// clock. Protocol state machines and all count statistics are shared
+	// with the detailed mode and stay exact.
+	Fast bool
+	casc event.Cascade
+
 	// Debug, when set, observes every message at delivery time (protocol
 	// debugging aid; nil in normal operation).
 	Debug func(now event.Time, m Msg)
@@ -127,7 +137,7 @@ func deliverMsg(a any) {
 	s, m, sent := d.s, d.m, d.sent
 	s.msgPool = append(s.msgPool, d)
 	if s.obs != nil && s.obs.Message != nil {
-		s.obs.Message(m.Kind, s.Sim.Now()-sent)
+		s.obs.Message(m.Kind, s.clockNow()-sent)
 	}
 	s.dispatch(m)
 }
@@ -185,10 +195,27 @@ func (s *System) Home(l arch.LineAddr) arch.NodeID {
 	return arch.NodeID(uint64(l) % uint64(s.Cfg.Nodes))
 }
 
+// clockNow returns the protocol-visible clock: the cascade's virtual time
+// while a fast-mode transaction is draining, the engine clock otherwise.
+//
+//spcoh:noalloc
+func (s *System) clockNow() event.Time {
+	if s.casc.Active() {
+		return s.casc.Now()
+	}
+	return s.Sim.Now()
+}
+
 // send routes a message over the NoC and dispatches it on arrival.
 //
 //spcoh:noalloc
-func (s *System) send(m Msg) { s.transmit(s.getDelivery(m)) } //spvet:allow noalloc -- inlined getDelivery: cold-path freelist refill
+func (s *System) send(m Msg) {
+	if s.Fast {
+		s.fastShip(0, m)
+		return
+	}
+	s.transmit(s.getDelivery(m)) //spvet:allow noalloc -- inlined getDelivery: cold-path freelist refill
+}
 
 //spcoh:noalloc
 func (s *System) transmit(d *delivery) {
@@ -200,12 +227,28 @@ func (s *System) transmit(d *delivery) {
 //
 //spcoh:noalloc
 func (s *System) sendAfter(d event.Time, m Msg) {
+	if s.Fast {
+		s.fastShip(d, m)
+		return
+	}
 	s.Sim.AfterFn(d, transmitMsg, s.getDelivery(m)) //spvet:allow noalloc -- inlined getDelivery: cold-path freelist refill
+}
+
+// fastShip is the fast-mode counterpart of send/sendAfter: it accounts the
+// packet on the NoC (contention-free), and schedules delivery on the active
+// cascade at source delay + network latency in virtual time.
+//
+//spcoh:noalloc
+func (s *System) fastShip(srcDelay event.Time, m Msg) {
+	d := s.getDelivery(m) //spvet:allow noalloc -- inlined getDelivery: cold-path freelist refill
+	lat := s.Net.FastSend(m.Src, m.Dst, m.Kind.Bytes())
+	d.sent = s.casc.Now() + srcDelay
+	s.casc.At(d.sent+lat, deliverMsg, d)
 }
 
 func (s *System) dispatch(m Msg) {
 	if s.Debug != nil {
-		s.Debug(s.Sim.Now(), m)
+		s.Debug(s.clockNow(), m)
 	}
 	switch m.Kind {
 	case MsgGetS, MsgGetM, MsgPutS, MsgPutE, MsgPutM, MsgUnblock, MsgDirUpd, MsgWriteback, MsgGetRetry:
@@ -234,10 +277,72 @@ func (s *System) NetStats() noc.Stats { return s.Net.Stats() }
 // invalidation races; see dir.go). Baseline (non-predicting) runs must
 // produce neither.
 func (s *System) CheckCoherence() (hard, soft []string) {
-	for _, d := range s.Dirs {
-		h, so := d.checkInvariants()
-		hard = append(hard, h...)
-		soft = append(soft, so...)
+	// Two passes, each linear in what it scans. Pass 1 (holder side) sweeps
+	// every L2 array once: a valid copy must be registered by its home slice
+	// in a compatible state — one directory lookup per resident line. Pass 2
+	// (dir side) walks the directory entries probing only the registered
+	// holders. The old formulation probed every node for every directory
+	// line (lines x nodes x associativity), which dominated short runs.
+	var hardV, softV []dirViol
+	for _, n := range s.Nodes {
+		id := n.self
+		n.l2.ForEachValid(func(l arch.LineAddr, st cache.State) {
+			e, ok := s.Dirs[s.Home(l)].lines[l]
+			switch {
+			case !ok || e.state == dirU:
+				hardV = append(hardV, dirViol{l, id,
+					fmt.Sprintf("line %#x: dir U but node %d has %v", uint64(l), id, st)})
+			case e.state == dirE:
+				if id != e.owner {
+					hardV = append(hardV, dirViol{l, id,
+						fmt.Sprintf("line %#x: dir E (owner %d) but node %d has %v", uint64(l), e.owner, id, st)})
+				} else if st == cache.Shared {
+					hardV = append(hardV, dirViol{l, id,
+						fmt.Sprintf("line %#x: dir E owner %d has %v", uint64(l), id, st)})
+				}
+			case e.state == dirS:
+				if !e.sharers.Contains(id) {
+					hardV = append(hardV, dirViol{l, id,
+						fmt.Sprintf("line %#x: dir S %v but node %d has %v", uint64(l), e.sharers, id, st)})
+				} else if st == cache.Modified || st == cache.Exclusive {
+					hardV = append(hardV, dirViol{l, id,
+						fmt.Sprintf("line %#x: dir S sharer %d has %v", uint64(l), id, st)})
+				}
+			}
+		})
 	}
-	return hard, soft
+	for _, d := range s.Dirs {
+		d.checkDirSide(&hardV, &softV)
+	}
+	// Violations are collected from unordered sweeps; a canonical
+	// (line, node) sort keeps the report deterministic.
+	return renderViols(hardV), renderViols(softV)
+}
+
+// dirViol is one coherence violation, keyed for deterministic ordering.
+// node is arch.None for line-level (per-entry) violations.
+type dirViol struct {
+	line arch.LineAddr
+	node arch.NodeID
+	msg  string
+}
+
+func renderViols(v []dirViol) []string {
+	if len(v) == 0 {
+		return nil
+	}
+	sort.Slice(v, func(i, j int) bool {
+		if v[i].line != v[j].line {
+			return v[i].line < v[j].line
+		}
+		if v[i].node != v[j].node {
+			return v[i].node < v[j].node
+		}
+		return v[i].msg < v[j].msg
+	})
+	out := make([]string, len(v))
+	for i := range v {
+		out[i] = v[i].msg
+	}
+	return out
 }

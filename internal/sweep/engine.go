@@ -220,8 +220,10 @@ type Executor struct {
 }
 
 // Do resolves one job; see Executor.
-func (e *Executor) Do(ctx context.Context, j Job) JobResult {
-	jr := JobResult{Job: j}
+func (e *Executor) Do(ctx context.Context, j Job) (jr JobResult) {
+	// The named return is load-bearing: the deferred Wall stamp must land
+	// on the value the caller receives, not on a dead local.
+	jr = JobResult{Job: j}
 	start := time.Now()
 	defer func() { jr.Wall = time.Since(start) }()
 

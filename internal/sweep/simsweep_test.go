@@ -10,13 +10,10 @@ import (
 	"spcoh/internal/sweep"
 )
 
-// realCell is the same executor spsweep uses in production.
+// realCell is the same executor spsweep uses in production: the job's
+// embedded RunConfig (including Mode) flows through unconverted.
 func realCell(j sweep.Job) (*sim.Result, error) {
-	return experiments.RunCell(experiments.Config{
-		Threads: j.Threads,
-		Scale:   j.Scale,
-		Seed:    j.Seed,
-	}, j.Bench, j.Kind)
+	return experiments.RunCell(j.RunConfig, j.Bench, j.Kind)
 }
 
 // TestRealSimParallelDeterminism runs actual simulations on a small matrix

@@ -1,0 +1,245 @@
+package sweep
+
+// Cross-validation of the two simulation fidelities (DESIGN.md §15): the
+// same matrix is swept once in detailed mode and once in fast mode, and
+// this file pairs the two reports cell by cell into a divergence report —
+// how far the fast functional model's timing drifts from the cycle-level
+// model, and whether the quantities fast mode promises to keep exact
+// (miss decomposition, prediction outcomes, injected traffic) actually
+// stayed exact. Cells whose divergence exceeds a threshold are listed for
+// detailed-mode escalation: fast-mode numbers for those cells should not
+// be cited without a detailed rerun.
+//
+// Everything here derives from deterministic simulation results, so the
+// report (minus the optional wall-clock Timing section) is byte-identical
+// for any worker count or execution order.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"text/tabwriter"
+
+	"spcoh/internal/sim"
+)
+
+// XvalCell compares one matrix cell across the two fidelities. The ratio
+// and delta fields use the conventions: CyclesRatio = fast/detailed (1.0
+// = perfect timing agreement), AccuracyDelta = fast − detailed (absolute,
+// in fraction-of-communicating-misses), TrafficDelta = (fast −
+// detailed)/detailed (relative injected bytes).
+type XvalCell struct {
+	Key   string  `json:"key"` // the detailed job's key
+	Bench string  `json:"bench"`
+	Kind  string  `json:"kind"`
+	Scale float64 `json:"scale"`
+	Seed  int64   `json:"seed"`
+
+	CyclesDetailed uint64  `json:"cycles_detailed"`
+	CyclesFast     uint64  `json:"cycles_fast"`
+	CyclesRatio    float64 `json:"cycles_ratio"`
+
+	MissesDetailed uint64 `json:"misses_detailed"`
+	MissesFast     uint64 `json:"misses_fast"`
+
+	AccuracyDetailed float64 `json:"accuracy_detailed"`
+	AccuracyFast     float64 `json:"accuracy_fast"`
+	AccuracyDelta    float64 `json:"accuracy_delta"`
+
+	BytesDetailed uint64  `json:"net_bytes_detailed"`
+	BytesFast     uint64  `json:"net_bytes_fast"`
+	TrafficDelta  float64 `json:"traffic_delta"`
+
+	// CountsExact reports whether the count quantities fast mode aims to
+	// preserve (misses, communicating misses, predictions issued/correct,
+	// snoop lookups, injected packets) matched the detailed run exactly.
+	// Benchmarks whose interleaving is timing-sensitive (lock hand-off
+	// order) may drift by a fraction of a percent; the per-field numbers
+	// above quantify it.
+	CountsExact bool `json:"counts_exact"`
+
+	// Escalate marks the cell as exceeding the divergence threshold (or
+	// having failed in either mode): cite detailed-mode numbers only.
+	Escalate bool `json:"escalate"`
+
+	ErrDetailed string `json:"error_detailed,omitempty"`
+	ErrFast     string `json:"error_fast,omitempty"`
+}
+
+// XvalTiming is the machine-dependent wall-clock section: how long each
+// fidelity took over the cells both modes actually executed this run
+// (cached recalls carry no meaningful wall time). It is excluded from the
+// report's determinism guarantee.
+type XvalTiming struct {
+	DetailedSeconds float64 `json:"detailed_seconds"`
+	FastSeconds     float64 `json:"fast_seconds"`
+	// Speedup is DetailedSeconds/FastSeconds; 0 when no pair executed.
+	Speedup       float64 `json:"speedup"`
+	ExecutedPairs int     `json:"executed_pairs"`
+}
+
+// XvalReport is the full cross-validation report, serialized to
+// results/BENCH_xval.json by `spsweep xval`.
+type XvalReport struct {
+	// Matrix is the detailed-mode matrix digest (the fast sweep is the
+	// same matrix with Mode="fast").
+	Matrix      string      `json:"matrix"`
+	Threshold   float64     `json:"threshold"`
+	Cells       []XvalCell  `json:"cells"`
+	Escalations []string    `json:"escalations"`
+	Timing      *XvalTiming `json:"timing,omitempty"`
+}
+
+// Xval pairs a detailed-mode report with the fast-mode report of the same
+// matrix and computes the per-cell divergence. Jobs are paired by key
+// (the fast job's key is the detailed key + "/fast"); both reports are
+// already in key order, so the output is deterministic. threshold is the
+// relative divergence above which a cell is marked for escalation.
+func Xval(detailed, fast *Report, threshold float64) *XvalReport {
+	byKey := make(map[string]*JobResult, len(fast.Jobs))
+	for i := range fast.Jobs {
+		byKey[fast.Jobs[i].Job.Key()] = &fast.Jobs[i]
+	}
+	rep := &XvalReport{Threshold: threshold, Cells: []XvalCell{}, Escalations: []string{}}
+	for i := range detailed.Jobs {
+		d := &detailed.Jobs[i]
+		f, ok := byKey[d.Job.Key()+"/fast"]
+		if !ok {
+			// A fast job can only be missing if the caller paired mismatched
+			// matrices; surface it as a failed cell rather than dropping it.
+			f = &JobResult{Err: fmt.Errorf("no fast-mode counterpart for %s", d.Job.Key())}
+		}
+		c := xvalCell(d, f, threshold)
+		rep.Cells = append(rep.Cells, c)
+		if c.Escalate {
+			rep.Escalations = append(rep.Escalations, c.Key)
+		}
+	}
+	return rep
+}
+
+func xvalCell(d, f *JobResult, threshold float64) XvalCell {
+	c := XvalCell{
+		Key:   d.Job.Key(),
+		Bench: d.Job.Bench,
+		Kind:  d.Job.Kind,
+		Scale: d.Job.Scale,
+		Seed:  d.Job.Seed,
+	}
+	if d.Err != nil {
+		c.ErrDetailed = d.Err.Error()
+	}
+	if f.Err != nil {
+		c.ErrFast = f.Err.Error()
+	}
+	if d.Err != nil || f.Err != nil || d.Result == nil || f.Result == nil {
+		c.Escalate = true
+		return c
+	}
+	dr, fr := d.Result, f.Result
+	c.CyclesDetailed = uint64(dr.Cycles)
+	c.CyclesFast = uint64(fr.Cycles)
+	if c.CyclesDetailed > 0 {
+		c.CyclesRatio = float64(c.CyclesFast) / float64(c.CyclesDetailed)
+	}
+	// Broadcast runs keep their counts in the snoop block; directory runs
+	// in the node block. Misses and traffic are comparable either way;
+	// accuracy is a directory-predictor quantity (0 for dir/bcast).
+	if dr.Protocol == sim.Broadcast {
+		c.MissesDetailed, c.MissesFast = dr.Snoop.Misses, fr.Snoop.Misses
+		// MissLatencySum is a timing quantity, not a count: exclude it.
+		c.CountsExact = dr.Snoop.Misses == fr.Snoop.Misses &&
+			dr.Snoop.Communicating == fr.Snoop.Communicating &&
+			dr.Snoop.SnoopLookups == fr.Snoop.SnoopLookups &&
+			dr.Snoop.Writebacks == fr.Snoop.Writebacks &&
+			dr.Net.Packets == fr.Net.Packets
+	} else {
+		c.MissesDetailed, c.MissesFast = dr.Nodes.Misses, fr.Nodes.Misses
+		c.AccuracyDetailed = dr.Nodes.Accuracy()
+		c.AccuracyFast = fr.Nodes.Accuracy()
+		c.AccuracyDelta = c.AccuracyFast - c.AccuracyDetailed
+		c.CountsExact = dr.Nodes.Misses == fr.Nodes.Misses &&
+			dr.Nodes.Communicating == fr.Nodes.Communicating &&
+			dr.Nodes.Predicted == fr.Nodes.Predicted &&
+			dr.Nodes.PredCorrect == fr.Nodes.PredCorrect &&
+			dr.Nodes.SnoopLookups == fr.Nodes.SnoopLookups &&
+			dr.Net.Packets == fr.Net.Packets
+	}
+	c.BytesDetailed, c.BytesFast = dr.Net.Bytes, fr.Net.Bytes
+	if c.BytesDetailed > 0 {
+		c.TrafficDelta = (float64(c.BytesFast) - float64(c.BytesDetailed)) / float64(c.BytesDetailed)
+	}
+	c.Escalate = math.Abs(c.CyclesRatio-1) > threshold ||
+		math.Abs(c.AccuracyDelta) > threshold ||
+		math.Abs(c.TrafficDelta) > threshold
+	return c
+}
+
+// XvalTimingFrom sums the wall times of cells both modes executed (not
+// recalled from the store) in this run. Returns nil when no pair
+// executed — a fully cached rerun has no timing signal.
+func XvalTimingFrom(detailed, fast *Report) *XvalTiming {
+	byKey := make(map[string]*JobResult, len(fast.Jobs))
+	for i := range fast.Jobs {
+		byKey[fast.Jobs[i].Job.Key()] = &fast.Jobs[i]
+	}
+	t := &XvalTiming{}
+	for i := range detailed.Jobs {
+		d := &detailed.Jobs[i]
+		f, ok := byKey[d.Job.Key()+"/fast"]
+		if !ok || d.Err != nil || f.Err != nil || d.Cached || f.Cached {
+			continue
+		}
+		t.DetailedSeconds += d.Wall.Seconds()
+		t.FastSeconds += f.Wall.Seconds()
+		t.ExecutedPairs++
+	}
+	if t.ExecutedPairs == 0 {
+		return nil
+	}
+	if t.FastSeconds > 0 {
+		t.Speedup = t.DetailedSeconds / t.FastSeconds
+	}
+	return t
+}
+
+// FormatJSON writes the report as indented JSON.
+func (r *XvalReport) FormatJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// FormatTable writes the human-readable divergence table.
+func (r *XvalReport) FormatTable(w io.Writer) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "CELL\tCYC-RATIO\tACC-DELTA\tTRAFFIC\tCOUNTS\tVERDICT")
+	for _, c := range r.Cells {
+		if c.ErrDetailed != "" || c.ErrFast != "" {
+			fmt.Fprintf(tw, "%s\t-\t-\t-\t-\tFAILED\n", c.Key)
+			continue
+		}
+		counts := "exact"
+		if !c.CountsExact {
+			counts = "drift"
+		}
+		verdict := "ok"
+		if c.Escalate {
+			verdict = "ESCALATE"
+		}
+		fmt.Fprintf(tw, "%s\t%.4f\t%+.4f\t%+.4f\t%s\t%s\n",
+			c.Key, c.CyclesRatio, c.AccuracyDelta, c.TrafficDelta, counts, verdict)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "cells: %d, escalations: %d (threshold %g)\n",
+		len(r.Cells), len(r.Escalations), r.Threshold)
+	if r.Timing != nil {
+		fmt.Fprintf(w, "timing: detailed %.1fs, fast %.1fs, speedup %.2fx over %d executed pairs\n",
+			r.Timing.DetailedSeconds, r.Timing.FastSeconds, r.Timing.Speedup, r.Timing.ExecutedPairs)
+	}
+}

@@ -1,0 +1,91 @@
+package sweep_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"spcoh/internal/sweep"
+)
+
+// xvalReport runs the two fidelity passes of a small matrix on the given
+// worker count and renders the divergence report (timing omitted — it is
+// the one machine-dependent section).
+func xvalReport(t *testing.T, m sweep.Matrix, workers int) string {
+	t.Helper()
+	det := sweep.Run(context.Background(), m.Jobs(), realCell, sweep.Options{Workers: workers})
+	fastM := m
+	fastM.Mode = "fast"
+	fast := sweep.Run(context.Background(), fastM.Jobs(), realCell, sweep.Options{Workers: workers})
+	if det.Failed+fast.Failed != 0 {
+		t.Fatalf("%d cell(s) failed", det.Failed+fast.Failed)
+	}
+	rep := sweep.Xval(det, fast, 0.05)
+	rep.Matrix = m.Digest()
+	var buf bytes.Buffer
+	if err := rep.FormatJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestXvalDeterminism: the divergence report must be byte-identical for
+// any worker count — it derives only from deterministic simulation
+// results and key-ordered pairing.
+func TestXvalDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations; skipped with -short")
+	}
+	m := sweep.Matrix{
+		Benches: []string{"ocean", "x264"},
+		Kinds:   []string{"sp", "bcast"},
+		Seeds:   []int64{42},
+		Scales:  []float64{0.05},
+		Threads: 16,
+	}
+	serial := xvalReport(t, m, 1)
+	parallel := xvalReport(t, m, 4)
+	if serial != parallel {
+		t.Fatalf("xval report differs between -jobs 1 and -jobs 4:\n%s\nvs\n%s", serial, parallel)
+	}
+}
+
+// TestXvalPairing: cells pair by key, fast jobs carry the /fast suffix,
+// and a count-exact cell within the threshold is not escalated while a
+// missing counterpart is.
+func TestXvalPairing(t *testing.T) {
+	m := sweep.Matrix{
+		Benches: []string{"ocean"},
+		Kinds:   []string{"sp"},
+		Seeds:   []int64{42},
+		Scales:  []float64{0.05},
+		Threads: 16,
+	}
+	det := sweep.Run(context.Background(), m.Jobs(), realCell, sweep.Options{Workers: 1})
+	fastM := m
+	fastM.Mode = "fast"
+	fast := sweep.Run(context.Background(), fastM.Jobs(), realCell, sweep.Options{Workers: 1})
+	rep := sweep.Xval(det, fast, 0.25)
+	if len(rep.Cells) != 1 {
+		t.Fatalf("want 1 cell, got %d", len(rep.Cells))
+	}
+	c := rep.Cells[0]
+	if c.Key != "ocean/sp/t16/x0.05/s42" {
+		t.Errorf("cell key = %q", c.Key)
+	}
+	if !c.CountsExact {
+		t.Errorf("ocean/sp should be count-exact (misses %d vs %d)", c.MissesDetailed, c.MissesFast)
+	}
+	if c.Escalate {
+		t.Errorf("ocean/sp escalated: ratio %g, acc delta %g, traffic %g", c.CyclesRatio, c.AccuracyDelta, c.TrafficDelta)
+	}
+	if c.CyclesRatio == 1 || c.CyclesRatio == 0 {
+		t.Errorf("cycles ratio %g: fast timing should differ from detailed but be nonzero", c.CyclesRatio)
+	}
+
+	// Pairing against an empty fast report marks every cell failed.
+	orphan := sweep.Xval(det, &sweep.Report{}, 0.25)
+	if !orphan.Cells[0].Escalate || orphan.Cells[0].ErrFast == "" {
+		t.Errorf("unpaired cell not escalated: %+v", orphan.Cells[0])
+	}
+}

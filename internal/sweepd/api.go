@@ -24,8 +24,12 @@
 // maprange/floatorder.
 //
 // This file defines the wire types of the HTTP/JSON API (version 1, under
-// /api/v1). There is no authentication: the daemon trusts its network,
-// like a build farm coordinator.
+// /api/v1). Authentication is a single shared bearer token (Options.Token
+// / the daemon's -token flag): when set, every request except the health
+// probe must carry "Authorization: Bearer <token>". A daemon bound to a
+// loopback address may run tokenless; binding a routable address without
+// a token requires the explicit -insecure flag. Request bodies are capped
+// (Options.MaxBodyBytes, default 8 MiB); oversized payloads get HTTP 413.
 package sweepd
 
 import (

@@ -18,8 +18,9 @@ import (
 // that the daemon's in-process pool runs — the only difference is the
 // transport.
 type Client struct {
-	base string
-	http *http.Client
+	base  string
+	token string
+	http  *http.Client
 }
 
 // NewClient returns a client for the server at base (e.g.
@@ -32,8 +33,25 @@ func NewClient(base string) *Client {
 	}
 }
 
+// SetToken makes every subsequent request carry "Authorization: Bearer
+// <token>" — required against a daemon started with -token. An empty
+// token sends no header.
+func (c *Client) SetToken(token string) { c.token = token }
+
 // url joins the API base with a path.
 func (c *Client) url(path string) string { return c.base + APIBase + path }
+
+// newRequest builds a request with the client's credentials attached.
+func (c *Client) newRequest(method, path string, body io.Reader) (*http.Request, error) {
+	req, err := http.NewRequest(method, c.url(path), body)
+	if err != nil {
+		return nil, err
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	return req, nil
+}
 
 // doJSON performs one request with optional JSON body, decoding the JSON
 // response into out (when non-nil). Non-2xx responses decode the error
@@ -47,7 +65,7 @@ func (c *Client) doJSON(method, path string, in, out any) error {
 		}
 		body = bytes.NewReader(b)
 	}
-	req, err := http.NewRequest(method, c.url(path), body)
+	req, err := c.newRequest(method, path, body)
 	if err != nil {
 		return err
 	}
@@ -128,7 +146,11 @@ func (c *Client) Results(sweepID, format string, w io.Writer) error {
 	if format != "" {
 		path += "?format=" + format
 	}
-	resp, err := c.http.Get(c.url(path))
+	req, err := c.newRequest(http.MethodGet, path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
 	if err != nil {
 		return err
 	}
@@ -146,7 +168,7 @@ func (c *Client) Results(sweepID, format string, w io.Writer) error {
 // caller may simply reconnect — the stream replays terminal states, so
 // nothing is lost. The request carries no timeout (streams outlive any).
 func (c *Client) StreamEvents(sweepID string, fn func(Event) bool) error {
-	req, err := http.NewRequest(http.MethodGet, c.url("/sweeps/"+sweepID+"/events"), nil)
+	req, err := c.newRequest(http.MethodGet, "/sweeps/"+sweepID+"/events", nil)
 	if err != nil {
 		return err
 	}

@@ -2,12 +2,14 @@ package sweepd
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
@@ -46,6 +48,15 @@ type Options struct {
 	// Exec executes jobs in the local pool; nil means DefaultExec. Tests
 	// inject stubs here.
 	Exec ExecFunc
+	// Token, when non-empty, requires every API request (except the
+	// health probe) to carry "Authorization: Bearer <Token>". The daemon
+	// refuses to bind a non-loopback address without one unless forced.
+	Token string
+	// MaxBodyBytes caps every request body; a larger payload is rejected
+	// with 413 before the decoder buffers it. Default 8 MiB — an order of
+	// magnitude above the largest legitimate payload (a completed
+	// metrics-enabled sim.Result).
+	MaxBodyBytes int64
 	// Log, when set, receives one line per server event. Display only.
 	Log func(format string, args ...any)
 
@@ -98,6 +109,9 @@ func New(opt Options) (*Server, error) {
 	}
 	if opt.Exec == nil {
 		opt.Exec = DefaultExec
+	}
+	if opt.MaxBodyBytes <= 0 {
+		opt.MaxBodyBytes = 8 << 20
 	}
 	if opt.Log == nil {
 		opt.Log = func(string, ...any) {}
@@ -446,13 +460,46 @@ func validateMatrix(m sweep.Matrix) error {
 	if m.Threads < 1 {
 		return fmt.Errorf("threads %d < 1", m.Threads)
 	}
+	switch m.Mode {
+	case "", "detailed", "fast":
+	default:
+		return fmt.Errorf("unknown mode %q (want detailed or fast)", m.Mode)
+	}
 	return nil
 }
 
 // --- HTTP layer -------------------------------------------------------
 
-// Handler returns the server's HTTP API.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the server's HTTP API: the route mux behind two guards
+// applied to every request — the bearer-token check (when a token is
+// configured; the health probe stays open so load balancers and `spsweep
+// server status` can ping without credentials) and the request-body cap.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.opt.Token != "" && r.URL.Path != APIBase+"/healthz" {
+			if subtle.ConstantTimeCompare([]byte(bearerToken(r)), []byte(s.opt.Token)) != 1 {
+				writeError(w, http.StatusUnauthorized,
+					errors.New("missing or invalid bearer token (set Authorization: Bearer <token>)"))
+				return
+			}
+		}
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.opt.MaxBodyBytes)
+		}
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// bearerToken extracts the token of an "Authorization: Bearer ..." header
+// ("" when absent or differently shaped).
+func bearerToken(r *http.Request) string {
+	const prefix = "Bearer "
+	auth := r.Header.Get("Authorization")
+	if len(auth) > len(prefix) && strings.EqualFold(auth[:len(prefix)], prefix) {
+		return auth[len(prefix):]
+	}
+	return ""
+}
 
 func (s *Server) routes() {
 	s.mux = http.NewServeMux()
@@ -473,7 +520,7 @@ func (s *Server) routes() {
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req SubmitRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		writeDecodeError(w, err)
 		return
 	}
 	resp, err := s.Submit(&req)
@@ -593,7 +640,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 	var req LeaseRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		writeDecodeError(w, err)
 		return
 	}
 	if req.Worker == "" {
@@ -618,7 +665,7 @@ func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 	var req CompleteRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		writeDecodeError(w, err)
 		return
 	}
 	dup, err := s.Complete(r.PathValue("lease"), req.Result)
@@ -632,7 +679,7 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleFail(w http.ResponseWriter, r *http.Request) {
 	var req FailRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		writeDecodeError(w, err)
 		return
 	}
 	if err := s.Fail(r.PathValue("lease"), req.Error); err != nil {
@@ -661,6 +708,20 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// writeDecodeError maps a request-body decode failure to a status: an
+// over-cap body (http.MaxBytesReader tripped) is 413 with the limit named
+// so the caller knows to raise -max-body or shrink the payload; anything
+// else is a plain 400.
+func writeDecodeError(w http.ResponseWriter, err error) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf(
+			"request body exceeds the server's %d-byte limit (raise -max-body on the daemon or shrink the payload)", mbe.Limit))
+		return
+	}
+	writeError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
 }
 
 // atomicWrite writes data via temp file + rename, like the store's.

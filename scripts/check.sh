@@ -22,10 +22,15 @@
 #                 every cell from the store), byte-compare the merged
 #                 outputs, status must report all cells complete
 #   spsweepd smoke the sweep job server end to end: daemon on an ephemeral
-#                 port, the same tiny matrix submitted over HTTP and
-#                 executed by two concurrent remote `spsweep work`
-#                 processes, merged results byte-compared against a local
-#                 `spsweep run -jobs 1` of the same matrix
+#                 port with bearer-token auth enabled, the same tiny matrix
+#                 submitted over HTTP and executed by two concurrent remote
+#                 `spsweep work` processes, merged results byte-compared
+#                 against a local `spsweep run -jobs 1` of the same matrix;
+#                 a tokenless request must bounce with 401
+#   xval smoke    two-speed cross-validation end to end: a tiny matrix in
+#                 both detailed and fast mode, the divergence report
+#                 (-no-timing) byte-compared between a fresh parallel run
+#                 and a fully-cached serial rerun
 #   spscen smoke  scenario layer end to end: the embedded profile specs
 #                 validate and build, a 50-seed generator fuzz sweep
 #                 (validity + determinism + buildability), and a generated
@@ -38,9 +43,12 @@
 #   bench smoke   every testing.B benchmark compiled and run once
 #                 (-benchtime=1x) so benchmark code cannot rot, then
 #                 spbench -core-bench refreshes results/BENCH_core.json
-#                 (timings recorded, not gated — wall time on shared boxes
-#                 is noise; allocation regressions are gated by the
-#                 AllocsPerRun ceilings inside go test; see DESIGN.md §11)
+#                 with -core-gate 50: the run fails only when aggregate
+#                 cycles/s falls >50% below the rolling baseline (median
+#                 of recent history) — generous enough that wall noise on
+#                 shared boxes cannot trip it, tight enough to catch a
+#                 real engine regression; allocation regressions are gated
+#                 by the AllocsPerRun ceilings inside go test (DESIGN.md §11)
 #
 # Any gate failing exits non-zero.
 set -eu
@@ -114,8 +122,10 @@ echo "== spsweepd smoke (server sweep via two remote workers == local run)"
     -summary "" -format json \
     > "$sweepdir/local.json" 2> "$sweepdir/local.log"
 go build -o "$sweepdir/spsweepd" ./cmd/spsweepd
+token="checksh-$$"
 "$sweepdir/spsweepd" -addr 127.0.0.1:0 -addr-file "$sweepdir/addr" \
     -dir "$sweepdir/serverstore" -workers 0 -lease-ttl 30s -quiet \
+    -token "$token" \
     2> "$sweepdir/spsweepd.log" &
 daemon=$!
 i=0
@@ -126,14 +136,25 @@ while [ ! -s "$sweepdir/addr" ] && [ "$i" -lt 100 ]; do sleep 0.1; i=$((i+1)); d
     exit 1
 }
 server="http://$(cat "$sweepdir/addr")"
-"$sweepdir/spsweep" run -server "$server" -bench x264,streamcluster -kinds dir,sp \
+# Tokenless requests must bounce off the auth middleware with 401.
+if "$sweepdir/spsweep" status -server "$server" 2> "$sweepdir/noauth.log"; then
+    echo "spsweepd: tokenless status succeeded against a token-protected daemon" >&2
+    exit 1
+fi
+grep -q "bearer token" "$sweepdir/noauth.log" || {
+    echo "spsweepd: tokenless rejection not diagnosable:" >&2
+    cat "$sweepdir/noauth.log" >&2
+    exit 1
+}
+"$sweepdir/spsweep" run -server "$server" -token "$token" \
+    -bench x264,streamcluster -kinds dir,sp \
     -scales 0.05 -format json \
     > "$sweepdir/server.json" 2> "$sweepdir/serverrun.log" &
 submit=$!
-"$sweepdir/spsweep" work -server "$server" -jobs 1 -poll 100ms -drain \
+"$sweepdir/spsweep" work -server "$server" -token "$token" -jobs 1 -poll 100ms -drain \
     2> "$sweepdir/worker1.log" &
 w1=$!
-"$sweepdir/spsweep" work -server "$server" -jobs 1 -poll 100ms -drain \
+"$sweepdir/spsweep" work -server "$server" -token "$token" -jobs 1 -poll 100ms -drain \
     2> "$sweepdir/worker2.log" &
 w2=$!
 wait "$w1" || { echo "spsweepd: worker 1 failed" >&2; cat "$sweepdir/worker1.log" >&2; exit 1; }
@@ -156,11 +177,11 @@ if [ "$((ok1 + ok2))" -ne 4 ]; then
     cat "$sweepdir/worker1.log" "$sweepdir/worker2.log" >&2
     exit 1
 fi
-"$sweepdir/spsweep" status -server "$server" | grep -q "0 pending, 0 leased" || {
+"$sweepdir/spsweep" status -server "$server" -token "$token" | grep -q "0 pending, 0 leased" || {
     echo "spsweepd: server status not terminal" >&2
     exit 1
 }
-"$sweepdir/spsweep" results -server "$server" -format json > "$sweepdir/results.json"
+"$sweepdir/spsweep" results -server "$server" -token "$token" -format json > "$sweepdir/results.json"
 cmp "$sweepdir/results.json" "$sweepdir/local.json" || {
     echo "spsweepd: results subcommand bytes differ from the local run" >&2
     exit 1
@@ -168,6 +189,30 @@ cmp "$sweepdir/results.json" "$sweepdir/local.json" || {
 kill "$daemon"
 wait "$daemon" 2>/dev/null || true
 daemon=""
+
+echo "== xval smoke (two-speed cross-validation determinism)"
+"$sweepdir/spsweep" xval -bench x264,streamcluster -kinds dir,sp \
+    -scales 0.05 -jobs 2 -dir "$sweepdir/xvalstore" \
+    -out "$sweepdir/xval1.json" -no-timing \
+    > /dev/null 2> "$sweepdir/xval1.log"
+"$sweepdir/spsweep" xval -bench x264,streamcluster -kinds dir,sp \
+    -scales 0.05 -jobs 1 -dir "$sweepdir/xvalstore" \
+    -out "$sweepdir/xval2.json" -no-timing \
+    > "$sweepdir/xval2.txt" 2> "$sweepdir/xval2.log"
+cmp "$sweepdir/xval1.json" "$sweepdir/xval2.json" || {
+    echo "xval: divergence report differs between a fresh parallel run and a cached serial rerun" >&2
+    exit 1
+}
+grep -q "cached" "$sweepdir/xval2.log" || {
+    echo "xval: second run did not recall cells from the store" >&2
+    cat "$sweepdir/xval2.log" >&2
+    exit 1
+}
+grep -q "cells: 4" "$sweepdir/xval2.txt" || {
+    echo "xval: report does not cover the matrix:" >&2
+    cat "$sweepdir/xval2.txt" >&2
+    exit 1
+}
 
 echo "== spscen smoke (builtin specs / generator fuzz / spec replay determinism)"
 go build -o "$sweepdir/spscen" ./cmd/spscen
@@ -215,10 +260,10 @@ go test -bench=. -benchtime=1x -run='^$' ./... > "$sweepdir/bench.log" 2>&1 || {
     exit 1
 }
 
-echo "== spbench core benchmark (results/BENCH_core.json refresh)"
+echo "== spbench core benchmark (results/BENCH_core.json refresh, rolling-baseline gate)"
 go build -o "$sweepdir/spbench" ./cmd/spbench
-"$sweepdir/spbench" -core-bench -core-out results/BENCH_core.json || {
-    echo "spbench: core benchmark failed" >&2
+"$sweepdir/spbench" -core-bench -core-out results/BENCH_core.json -core-gate 50 || {
+    echo "spbench: core benchmark failed (or regressed past the rolling-baseline gate)" >&2
     exit 1
 }
 
