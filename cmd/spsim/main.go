@@ -31,6 +31,7 @@ import (
 	"spcoh/internal/event"
 	"spcoh/internal/metrics"
 	"spcoh/internal/predictor"
+	"spcoh/internal/protocol"
 	"spcoh/internal/scenario"
 	"spcoh/internal/sim"
 	"spcoh/internal/stats"
@@ -102,6 +103,8 @@ func main() {
 	modeFlag := flag.String("mode", "detailed", "simulation fidelity: detailed|fast (fast skips NoC contention; counts stay exact, timing is approximate)")
 	scale := flag.Float64("scale", 0.2, "workload scale factor")
 	seed := flag.Int64("seed", 42, "workload build seed")
+	threads := flag.Int("threads", 16, "thread/node count (a perfect-square mesh: 16, 64, 256, ...)")
+	shards := flag.Int("shards", 1, "intra-run executor shards (1 = serial engine; results are byte-identical for every value)")
 	metricsEpoch := flag.Uint64("metrics-epoch", 0, "metrics sampling epoch in cycles (0 = no metrics)")
 	metricsOut := flag.String("metrics-out", "", "write the metrics time-series JSON here (requires -metrics-epoch)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile here")
@@ -150,6 +153,15 @@ func main() {
 		os.Exit(2)
 	}
 
+	machine := protocol.DefaultConfig()
+	if *threads != machine.Nodes {
+		var err error
+		if machine, err = protocol.ConfigFor(*threads); err != nil {
+			fmt.Fprintln(os.Stderr, "spsim:", err)
+			os.Exit(2)
+		}
+	}
+
 	var spec *scenario.Spec
 	if *specPath != "" {
 		if *all {
@@ -189,11 +201,11 @@ func main() {
 		var prog *workload.Program
 		var err error
 		if spec != nil {
-			prog, err = workload.FromSpec(spec, 16, *scale, *seed)
+			prog, err = workload.FromSpec(spec, *threads, *scale, *seed)
 		} else {
 			var p workload.Profile
 			if p, err = workload.ByName(name); err == nil {
-				prog, err = p.Program(16, *scale, *seed)
+				prog, err = p.Program(*threads, *scale, *seed)
 			}
 		}
 		if err != nil {
@@ -201,10 +213,12 @@ func main() {
 			continue
 		}
 		opt := sim.DefaultOptions()
+		opt.Machine = machine
+		opt.Shards = *shards
 		if *proto == "bcast" {
 			opt.Protocol = sim.Broadcast
 		} else {
-			opt.Predictors, err = buildPredictors(*pred, 16)
+			opt.Predictors, err = buildPredictors(*pred, *threads)
 			if err != nil {
 				// A bad predictor name fails every benchmark: always fatal.
 				fmt.Fprintln(os.Stderr, "spsim:", err)

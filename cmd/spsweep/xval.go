@@ -20,6 +20,7 @@ import (
 	"runtime"
 	"time"
 
+	"spcoh/internal/sim"
 	"spcoh/internal/sweep"
 )
 
@@ -27,10 +28,12 @@ func cmdXval(args []string) error {
 	fs := newFlagSet("spsweep xval")
 	mf := addMatrixFlags(fs)
 	jobs := fs.Int("jobs", runtime.NumCPU(), "worker pool size")
+	shards := fs.Int("shards", 1, "intra-run executor shards per cell (engine knob; results are byte-identical)")
 	timeout := fs.Duration("timeout", 0, "per-attempt wall-clock timeout (0 = none)")
 	dir := fs.String("dir", "results/sweep", "artifact store directory")
 	out := fs.String("out", "results/BENCH_xval.json", `divergence report JSON path ("" disables)`)
 	threshold := fs.Float64("threshold", 0.05, "relative divergence above which a cell is escalated")
+	escalate := fs.Bool("escalate", false, "rerun escalated cells in detailed mode and fold the authoritative numbers into the report")
 	noTiming := fs.Bool("no-timing", false, "omit the machine-dependent timing section (byte-stable output)")
 	fs.Parse(args)
 
@@ -55,11 +58,12 @@ func cmdXval(args []string) error {
 	detailed := matrix
 	fast := matrix
 	fast.Mode = "fast"
-	detRep, err := xvalSweep(ctx, "detailed", detailed, store, *jobs, *timeout)
+	run := cellRunner(*shards)
+	detRep, err := xvalSweep(ctx, "detailed", detailed.Jobs(), run, store, *jobs, *timeout)
 	if err != nil {
 		return err
 	}
-	fastRep, err := xvalSweep(ctx, "fast", fast, store, *jobs, *timeout)
+	fastRep, err := xvalSweep(ctx, "fast", fast.Jobs(), run, store, *jobs, *timeout)
 	if err != nil {
 		return err
 	}
@@ -68,6 +72,27 @@ func cmdXval(args []string) error {
 	rep.Matrix = detailed.Digest()
 	if !*noTiming {
 		rep.Timing = sweep.XvalTimingFrom(detRep, fastRep)
+	}
+	if *escalate && len(rep.Escalations) > 0 {
+		// Rerun the over-threshold cells in detailed mode through the same
+		// engine and store — already-checkpointed cells recall instantly,
+		// failed cells get a genuine retry — and fold the authoritative
+		// detailed numbers into the report.
+		want := make(map[string]bool, len(rep.Escalations))
+		for _, k := range rep.Escalations {
+			want[k] = true
+		}
+		var cells []sweep.Job
+		for _, j := range detailed.Jobs() {
+			if want[j.Key()] {
+				cells = append(cells, j)
+			}
+		}
+		escRep, err := xvalSweep(ctx, "escalate", cells, run, store, *jobs, *timeout)
+		if err != nil {
+			return err
+		}
+		rep.FoldEscalations(escRep)
 	}
 	rep.FormatTable(os.Stdout)
 	if *out != "" {
@@ -93,10 +118,9 @@ func cmdXval(args []string) error {
 	return nil
 }
 
-// xvalSweep runs one fidelity's half of the cross-validation through the
-// shared engine and store.
-func xvalSweep(ctx context.Context, label string, m sweep.Matrix, store *sweep.Store, jobs int, timeout time.Duration) (*sweep.Report, error) {
-	cells := m.Jobs()
+// xvalSweep runs one pass of the cross-validation (a fidelity's half, or
+// the escalation rerun) through the shared engine and store.
+func xvalSweep(ctx context.Context, label string, cells []sweep.Job, run func(sweep.Job) (*sim.Result, error), store *sweep.Store, jobs int, timeout time.Duration) (*sweep.Report, error) {
 	fmt.Fprintf(os.Stderr, "spsweep: xval %s pass: %d jobs on %d workers\n", label, len(cells), jobs)
 	done := 0
 	opt := sweep.Options{
@@ -116,5 +140,5 @@ func xvalSweep(ctx context.Context, label string, m sweep.Matrix, store *sweep.S
 				label, done, len(cells), jr.Job.Key(), jr.Wall.Seconds(), state)
 		},
 	}
-	return sweep.Run(ctx, cells, runCell, opt), nil
+	return sweep.Run(ctx, cells, run, opt), nil
 }

@@ -41,17 +41,24 @@ func (a Addr) Line() LineAddr { return LineAddr(a >> LineShift) }
 // Base returns the first byte address of the line.
 func (l LineAddr) Base() Addr { return Addr(l) << LineShift }
 
-// MaxNodes is the largest machine a SharerSet can describe.
-const MaxNodes = 64
+// MaxNodes is the largest machine a SharerSet can describe. 256 covers the
+// 16x16 mesh; widening further means growing setWords.
+const MaxNodes = 256
+
+// setWords is the number of 64-bit words backing a SharerSet.
+const setWords = MaxNodes / 64
 
 // SharerSet is a bit vector over NodeIDs: bit i set means node i is a member.
 // It is the universal currency of destination-set prediction — communication
 // signatures, predicted sets, directory sharer lists and invalidation targets
-// are all SharerSets.
-type SharerSet uint64
+// are all SharerSets. It is a comparable value type: == compares membership,
+// and it can key maps.
+type SharerSet struct {
+	w [setWords]uint64
+}
 
-// EmptySet is the SharerSet with no members.
-const EmptySet SharerSet = 0
+// EmptySet is the SharerSet with no members (also the zero value).
+var EmptySet SharerSet
 
 // SetOf builds a SharerSet from a list of nodes.
 func SetOf(nodes ...NodeID) SharerSet {
@@ -64,66 +71,135 @@ func SetOf(nodes ...NodeID) SharerSet {
 
 // FullSet returns the set containing nodes [0, n).
 func FullSet(n int) SharerSet {
+	var s SharerSet
 	if n >= MaxNodes {
-		return ^SharerSet(0)
+		for i := range s.w {
+			s.w[i] = ^uint64(0)
+		}
+		return s
 	}
-	return SharerSet(1)<<uint(n) - 1
+	for i := 0; i < n>>6; i++ {
+		s.w[i] = ^uint64(0)
+	}
+	if r := uint(n & 63); r != 0 {
+		s.w[n>>6] = uint64(1)<<r - 1
+	}
+	return s
 }
 
-// Add returns s with node n added.
-func (s SharerSet) Add(n NodeID) SharerSet { return s | 1<<uint(n) }
+// SetFromBits64 builds a set from a 64-bit mask over nodes [0, 64). It is
+// the inverse of Bits64 and exists for the binary trace format, which
+// predates the widening past 64 nodes and stores one word.
+func SetFromBits64(mask uint64) SharerSet {
+	var s SharerSet
+	s.w[0] = mask
+	return s
+}
+
+// Bits64 returns the membership mask of nodes [0, 64). Members beyond node
+// 63 are not representable and are dropped; the binary trace format (the
+// only caller) captures 16-node runs.
+func (s SharerSet) Bits64() uint64 { return s.w[0] }
+
+// Add returns s with node n added (out-of-range n is ignored).
+func (s SharerSet) Add(n NodeID) SharerSet {
+	if n < 0 || n >= MaxNodes {
+		return s
+	}
+	s.w[n>>6] |= 1 << uint(n&63)
+	return s
+}
 
 // Remove returns s with node n removed.
-func (s SharerSet) Remove(n NodeID) SharerSet { return s &^ (1 << uint(n)) }
+func (s SharerSet) Remove(n NodeID) SharerSet {
+	if n < 0 || n >= MaxNodes {
+		return s
+	}
+	s.w[n>>6] &^= 1 << uint(n&63)
+	return s
+}
 
 // Contains reports whether node n is a member of s.
 func (s SharerSet) Contains(n NodeID) bool {
-	return n >= 0 && n < MaxNodes && s&(1<<uint(n)) != 0
+	return n >= 0 && n < MaxNodes && s.w[n>>6]&(1<<uint(n&63)) != 0
 }
 
 // Count returns the number of members.
-func (s SharerSet) Count() int { return bits.OnesCount64(uint64(s)) }
+func (s SharerSet) Count() int {
+	c := 0
+	for _, w := range s.w {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
 
 // Empty reports whether s has no members.
-func (s SharerSet) Empty() bool { return s == 0 }
+func (s SharerSet) Empty() bool {
+	var or uint64
+	for _, w := range s.w {
+		or |= w
+	}
+	return or == 0
+}
 
 // Union returns s ∪ t.
-func (s SharerSet) Union(t SharerSet) SharerSet { return s | t }
+func (s SharerSet) Union(t SharerSet) SharerSet {
+	for i := range s.w {
+		s.w[i] |= t.w[i]
+	}
+	return s
+}
 
 // Intersect returns s ∩ t.
-func (s SharerSet) Intersect(t SharerSet) SharerSet { return s & t }
+func (s SharerSet) Intersect(t SharerSet) SharerSet {
+	for i := range s.w {
+		s.w[i] &= t.w[i]
+	}
+	return s
+}
 
 // Minus returns s \ t.
-func (s SharerSet) Minus(t SharerSet) SharerSet { return s &^ t }
+func (s SharerSet) Minus(t SharerSet) SharerSet {
+	for i := range s.w {
+		s.w[i] &^= t.w[i]
+	}
+	return s
+}
 
 // Superset reports whether s ⊇ t.
-func (s SharerSet) Superset(t SharerSet) bool { return t&^s == 0 }
+func (s SharerSet) Superset(t SharerSet) bool {
+	var rem uint64
+	for i := range s.w {
+		rem |= t.w[i] &^ s.w[i]
+	}
+	return rem == 0
+}
 
 // First returns the lowest-numbered member, or None if the set is empty.
 func (s SharerSet) First() NodeID {
-	if s == 0 {
-		return None
+	for i, w := range s.w {
+		if w != 0 {
+			return NodeID(i<<6 + bits.TrailingZeros64(w))
+		}
 	}
-	return NodeID(bits.TrailingZeros64(uint64(s)))
+	return None
 }
 
 // Nodes returns the members in ascending order.
 func (s SharerSet) Nodes() []NodeID {
 	out := make([]NodeID, 0, s.Count())
-	for s != 0 {
-		n := bits.TrailingZeros64(uint64(s))
-		out = append(out, NodeID(n))
-		s &^= 1 << uint(n)
-	}
+	s.ForEach(func(n NodeID) { out = append(out, n) })
 	return out
 }
 
 // ForEach calls fn for every member in ascending order.
 func (s SharerSet) ForEach(fn func(NodeID)) {
-	for s != 0 {
-		n := bits.TrailingZeros64(uint64(s))
-		fn(NodeID(n))
-		s &^= 1 << uint(n)
+	for i, w := range s.w {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(NodeID(i<<6 + b))
+			w &^= 1 << uint(b)
+		}
 	}
 }
 

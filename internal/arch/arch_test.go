@@ -69,6 +69,38 @@ func TestFullSet(t *testing.T) {
 	if FullSet(64).Count() != 64 {
 		t.Fatal("FullSet(64) should have 64 members")
 	}
+	if FullSet(256).Count() != 256 || FullSet(MaxNodes+7).Count() != MaxNodes {
+		t.Fatal("FullSet must saturate at MaxNodes")
+	}
+	if got := FullSet(100); got.Count() != 100 || got.Contains(100) || !got.Contains(99) {
+		t.Fatalf("FullSet(100) = %v", got)
+	}
+}
+
+func TestCrossWordMembers(t *testing.T) {
+	s := SetOf(3, 63, 64, 130, 255)
+	if s.Count() != 5 || !s.Contains(64) || !s.Contains(255) || s.Contains(65) {
+		t.Fatalf("cross-word membership wrong: %v", s)
+	}
+	if s.First() != 3 {
+		t.Fatalf("First = %d", s.First())
+	}
+	got := s.Nodes()
+	want := []NodeID{3, 63, 64, 130, 255}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Nodes = %v", got)
+		}
+	}
+	if s.Remove(130).Contains(130) {
+		t.Fatal("Remove above word 0 failed")
+	}
+	if s.Add(256) != s || s.Add(None) != s {
+		t.Fatal("out-of-range Add must be a no-op")
+	}
+	if SetFromBits64(s.Bits64()) != SetOf(3, 63) {
+		t.Fatal("Bits64 must carry exactly word 0")
+	}
 }
 
 func TestNodesAndForEach(t *testing.T) {
@@ -104,9 +136,9 @@ func TestStrings(t *testing.T) {
 
 // Property: add then contains; remove then not contains; count consistency.
 func TestPropertySetOps(t *testing.T) {
-	f := func(base uint64, n uint8) bool {
-		node := NodeID(n % MaxNodes)
-		s := SharerSet(base)
+	f := func(base uint64, n uint16) bool {
+		node := NodeID(int(n) % MaxNodes)
+		s := SetFromBits64(base)
 		added := s.Add(node)
 		if !added.Contains(node) {
 			return false
@@ -126,8 +158,8 @@ func TestPropertySetOps(t *testing.T) {
 
 // Property: Nodes round-trips through SetOf.
 func TestPropertyNodesRoundTrip(t *testing.T) {
-	f := func(raw uint64) bool {
-		s := SharerSet(raw)
+	f := func(raw uint64, hi uint16) bool {
+		s := SetFromBits64(raw).Add(NodeID(int(hi) % MaxNodes))
 		return SetOf(s.Nodes()...) == s
 	}
 	if err := quick.Check(f, nil); err != nil {
@@ -137,8 +169,11 @@ func TestPropertyNodesRoundTrip(t *testing.T) {
 
 // Property: DeMorgan-ish identities on the 64-node universe.
 func TestPropertySetIdentities(t *testing.T) {
-	f := func(a, b uint64) bool {
-		x, y := SharerSet(a), SharerSet(b)
+	f := func(a, b uint64, ha, hb uint16) bool {
+		// Seed members above word 0 too, so the identities are exercised
+		// across the widened set's word boundaries.
+		x := SetFromBits64(a).Add(NodeID(int(ha) % MaxNodes))
+		y := SetFromBits64(b).Add(NodeID(int(hb) % MaxNodes))
 		if x.Union(y).Count() != x.Count()+y.Count()-x.Intersect(y).Count() {
 			return false
 		}

@@ -78,9 +78,13 @@ type Stats struct {
 }
 
 // Cache is a set-associative array of Lines with true-LRU replacement.
+// Lines live in one flat dense array (set-major), not a slice per set: the
+// big-mesh profiles showed the per-set pointer chase dominating lookup cost
+// once hundreds of tiles' arrays compete for the host cache.
 type Cache struct {
 	cfg   Config
-	sets  [][]Line
+	lines []Line
+	ways  int
 	clock uint64
 	stats Stats
 	mask  uint64
@@ -93,11 +97,12 @@ func New(cfg Config) *Cache {
 	if sets <= 0 || sets&(sets-1) != 0 {
 		panic(fmt.Sprintf("cache: set count %d not a positive power of two", sets))
 	}
-	c := &Cache{cfg: cfg, sets: make([][]Line, sets), mask: uint64(sets - 1)}
-	for i := range c.sets {
-		c.sets[i] = make([]Line, cfg.Ways)
+	return &Cache{
+		cfg:   cfg,
+		lines: make([]Line, sets*cfg.Ways),
+		ways:  cfg.Ways,
+		mask:  uint64(sets - 1),
 	}
-	return c
 }
 
 // Config returns the cache geometry.
@@ -106,7 +111,11 @@ func (c *Cache) Config() Config { return c.cfg }
 // Stats returns a snapshot of the counters.
 func (c *Cache) Stats() Stats { return c.stats }
 
-func (c *Cache) set(addr arch.LineAddr) []Line { return c.sets[uint64(addr)&c.mask] }
+//spcoh:noalloc
+func (c *Cache) set(addr arch.LineAddr) []Line {
+	i := int(uint64(addr)&c.mask) * c.ways
+	return c.lines[i : i+c.ways]
+}
 
 // Lookup returns the line holding addr, or nil. A hit refreshes LRU and
 // counts in the statistics; use Peek for silent inspection.
@@ -215,11 +224,9 @@ func (c *Cache) Invalidate(addr arch.LineAddr) (State, bool) {
 // ForEachValid calls fn for every valid line in array order (coherence
 // audit). Purely observational: no LRU or statistics effects.
 func (c *Cache) ForEachValid(fn func(arch.LineAddr, State)) {
-	for _, set := range c.sets {
-		for i := range set {
-			if set[i].State.Valid() {
-				fn(set[i].Addr, set[i].State)
-			}
+	for i := range c.lines {
+		if c.lines[i].State.Valid() {
+			fn(c.lines[i].Addr, c.lines[i].State)
 		}
 	}
 }
@@ -227,11 +234,9 @@ func (c *Cache) ForEachValid(fn func(arch.LineAddr, State)) {
 // Occupancy returns the number of valid lines (test/debug aid).
 func (c *Cache) Occupancy() int {
 	n := 0
-	for _, set := range c.sets {
-		for i := range set {
-			if set[i].State.Valid() {
-				n++
-			}
+	for i := range c.lines {
+		if c.lines[i].State.Valid() {
+			n++
 		}
 	}
 	return n

@@ -19,7 +19,7 @@ func TestPropertyTableDepth(t *testing.T) {
 		k := epochKey{staticID: 1, proc: 0}
 		var last arch.SharerSet
 		for i := 0; i < int(pushes); i++ {
-			last = arch.SharerSet(rng.Uint64() & 0xFFFF)
+			last = arch.SetFromBits64(rng.Uint64() & 0xFFFF)
 			tab.push(k, last)
 		}
 		sigs, _ := tab.history(k)
@@ -46,7 +46,7 @@ func TestPropertyTableCapacity(t *testing.T) {
 		var lastKey epochKey
 		for i := 0; i < 200; i++ {
 			lastKey = epochKey{staticID: uint64(rng.Intn(64)), proc: arch.NodeID(rng.Intn(4))}
-			tab.push(lastKey, arch.SharerSet(rng.Uint64()))
+			tab.push(lastKey, arch.SetFromBits64(rng.Uint64()))
 		}
 		if tab.Len() > maxE {
 			return false

@@ -1,0 +1,273 @@
+package event
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Exec drains a Sim cycle by cycle with same-cycle events executed in
+// parallel across K shards, producing output byte-identical to the serial
+// engine (DESIGN.md §16). The algorithm per cycle t:
+//
+//  1. takeCycle collects every event scheduled for t into a batch, in
+//     exactly the order the serial engine would fire them (heap events
+//     first — see the §11 heap-drains-before-ring argument — then the ring
+//     bucket front to back).
+//  2. Parallel phase: each worker walks the batch and executes the events
+//     owned by its shard (shard = node mod K), in batch order. Owned
+//     events only mutate their own tile's state; every cross-shard effect
+//     (schedule or call) is staged into the shard's buffer via the node's
+//     Lane, tagged with the staging event's batch position. Unowned events
+//     are skipped.
+//  3. Commit phase (serial): walk the batch in order once more; at each
+//     owned event's position, apply its staged ops in staging order; at
+//     each unowned event's position, execute it. Because staged ops are
+//     applied at the exact batch position — and in the exact intra-event
+//     order — the serial engine would have produced them, the ring, heap,
+//     seq counter, NoC link state and every observer-visible quantity
+//     evolve identically to a serial run.
+//  4. Straggler drain: events scheduled *for t* during commit (rare: only
+//     zero-delay schedules) are executed serially via Step, which is again
+//     the serial engine's order (they would have been appended to the same
+//     bucket after the batch).
+//
+// Batches below SerialMin skip phases 2–3 and execute serially, which is
+// equivalent by the same argument (commit order == serial order in both
+// paths); the threshold only trades barrier overhead against parallelism.
+type Exec struct {
+	s    *Sim
+	k    int
+	ctxs []*shardCtx
+
+	// batch is the current cycle's event list, reused across cycles.
+	batch []ev
+
+	// SerialMin is the batch size below which a cycle runs serially
+	// (default 4*K). Exported so tests can force the parallel path.
+	SerialMin int
+
+	// Worker handshake: start is a generation counter bumped to release
+	// the workers into a parallel phase, done counts workers still running
+	// it, stop ends the pool. Atomics give the necessary happens-before
+	// edges (control's pre-phase writes → workers; workers' staged writes
+	// → control) without locks; the pool spins with Gosched because phases
+	// are microseconds apart and a futex sleep would dominate them.
+	start atomic.Uint32
+	done  atomic.Int32
+	stop  atomic.Bool
+}
+
+// NewExec attaches a K-shard executor to s. The simulator's lanes must
+// already be materialized (Sim.Lanes) — the executor parallelizes only
+// events scheduled through them. K is clamped to [1, nodes]. The control
+// thread doubles as shard 0's worker; K-1 pool goroutines are spawned here
+// and live until Close.
+func NewExec(s *Sim, shards int) *Exec {
+	n := len(s.lanes)
+	if n == 0 {
+		panic("event: NewExec before Sim.Lanes")
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > n {
+		shards = n
+	}
+	x := &Exec{s: s, k: shards, SerialMin: 4 * shards}
+	x.ctxs = make([]*shardCtx, shards)
+	for i := range x.ctxs {
+		x.ctxs[i] = &shardCtx{}
+	}
+	for _, l := range s.lanes {
+		l.ctx = x.ctxs[int(l.own-1)%shards]
+	}
+	for w := 1; w < shards; w++ {
+		w := w
+		// The pool is the one sanctioned concurrency in the DES: workers
+		// only run node-confined events between two barriers and stage
+		// every cross-shard effect for deterministic serial commit.
+		go x.worker(w) //spvet:allow goroutine -- deterministic barrier-merged shard pool
+	}
+	return x
+}
+
+// Close stops the worker pool (blocking until every worker has exited) and
+// detaches the executor's staging contexts from the lanes, returning the
+// Sim to pure serial operation.
+func (x *Exec) Close() {
+	if x.k > 1 && !x.stop.Load() {
+		x.stop.Store(true)
+		x.done.Store(int32(x.k - 1))
+		x.start.Add(1)
+		for x.done.Load() != 0 {
+			runtime.Gosched()
+		}
+	}
+	for _, l := range x.s.lanes {
+		l.ctx = nil
+	}
+}
+
+func (x *Exec) worker(shard int) {
+	gen := uint32(0)
+	for {
+		for x.start.Load() == gen {
+			runtime.Gosched()
+		}
+		gen++
+		if x.stop.Load() {
+			x.done.Add(-1)
+			return
+		}
+		x.runShard(shard)
+		x.done.Add(-1)
+	}
+}
+
+// runShard executes the batch's events owned by one shard, in batch order.
+func (x *Exec) runShard(shard int) {
+	k := x.k
+	ctx := x.ctxs[shard]
+	for i := range x.batch {
+		e := &x.batch[i]
+		if e.own != 0 && int(e.own-1)%k == shard {
+			ctx.pos = int32(i)
+			e.call()
+		}
+	}
+}
+
+// takeCycle pops every event scheduled for the earliest pending cycle into
+// batch, in serial firing order, and advances the clock to that cycle.
+func (s *Sim) takeCycle(batch []ev) ([]ev, Time, bool) {
+	t, ok := s.NextTime()
+	if !ok {
+		return batch, 0, false
+	}
+	s.now = t
+	for len(s.far) > 0 && s.far[0].when == t {
+		it := s.far.pop()
+		batch = append(batch, it.ev)
+	}
+	if s.ringCnt > 0 && s.scanRing() == t {
+		b := &s.ring[uint64(t)&ringMask]
+		n := len(b.evs) - b.head
+		if len(batch) == 0 && b.head == 0 {
+			// Common case (no same-cycle heap events, bucket unconsumed):
+			// swap the backing arrays instead of copying the events out.
+			// Cycle clears the batch after execution, so reference release
+			// is paid exactly once either way.
+			batch, b.evs = b.evs, batch[:0]
+		} else {
+			batch = append(batch, b.evs[b.head:]...)
+			for i := b.head; i < len(b.evs); i++ {
+				b.evs[i] = ev{} // release callback references
+			}
+			b.head = 0
+			b.evs = b.evs[:0]
+		}
+		s.ringCnt -= n
+	}
+	return batch, t, true
+}
+
+// Cycle processes one simulated cycle; false when the queue is empty.
+func (x *Exec) Cycle() bool {
+	s := x.s
+	var t Time
+	var ok bool
+	x.batch, t, ok = s.takeCycle(x.batch[:0])
+	if !ok {
+		return false
+	}
+	n := len(x.batch)
+	if x.k == 1 || n < x.SerialMin {
+		// Serial fast path: lanes are not staging, so every event executes
+		// with immediate effects — the plain engine's semantics.
+		for i := range x.batch {
+			x.batch[i].call()
+		}
+	} else {
+		for _, c := range x.ctxs {
+			c.ops = c.ops[:0]
+			c.next = 0
+			c.active = true
+		}
+		x.done.Store(int32(x.k - 1))
+		x.start.Add(1)
+		x.runShard(0)
+		for x.done.Load() != 0 {
+			runtime.Gosched()
+		}
+		for _, c := range x.ctxs {
+			c.active = false
+		}
+		x.commit()
+	}
+	s.Fired += uint64(n)
+	for i := range x.batch {
+		x.batch[i] = ev{} // release callback references
+	}
+	// Straggler drain: commit-time schedules that landed on this same
+	// cycle. Step preserves serial order (FIFO within the bucket).
+	for {
+		nt, ok := s.NextTime()
+		if !ok || nt != t {
+			break
+		}
+		s.Step()
+	}
+	return true
+}
+
+// commit applies the staged effects of a parallel phase in serial order:
+// for each batch position, the staging event's ops run in staging order
+// (owned events), or the event itself runs (unowned events). Nested
+// effects of a committed call — e.g. a message injection scheduling its
+// delivery — happen inline, exactly as they would mid-event serially.
+func (x *Exec) commit() {
+	s := x.s
+	k := x.k
+	for i := range x.batch {
+		e := &x.batch[i]
+		if e.own == 0 {
+			e.call()
+			continue
+		}
+		c := x.ctxs[int(e.own-1)%k]
+		for c.next < len(c.ops) && c.ops[c.next].pos == int32(i) {
+			op := &c.ops[c.next]
+			c.next++
+			if op.sched {
+				s.schedule(op.t, op.e)
+			} else {
+				op.e.call()
+			}
+		}
+	}
+	for _, c := range x.ctxs {
+		for i := range c.ops {
+			c.ops[i].e = ev{} // release callback references
+		}
+	}
+}
+
+// Run drains the queue, cycle by cycle.
+func (x *Exec) Run() {
+	for x.Cycle() {
+	}
+}
+
+// RunBudget processes cycles with timestamps <= limit, leaving later
+// events queued — the executor counterpart of the serial MaxCycles peek
+// loop (whole cycles and single events agree: a cycle's events all share
+// its timestamp).
+func (x *Exec) RunBudget(limit Time) {
+	for {
+		next, ok := x.s.NextTime()
+		if !ok || next > limit {
+			return
+		}
+		x.Cycle()
+	}
+}

@@ -1,0 +1,187 @@
+package event
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// serialTrace runs a scenario on the plain serial engine and returns the
+// ordered log — the reference the executor must reproduce byte for byte.
+func serialTrace(build func(s *Sim, lanes []*Lane, log *strings.Builder), nodes int) string {
+	s := New()
+	var log strings.Builder
+	build(s, s.Lanes(nodes), &log)
+	s.Run()
+	return log.String()
+}
+
+// execTrace runs the same scenario through the sharded executor. SerialMin
+// is forced to 0 so even tiny cycles take the parallel path.
+func execTrace(t *testing.T, build func(s *Sim, lanes []*Lane, log *strings.Builder), nodes, shards int) string {
+	t.Helper()
+	s := New()
+	lanes := s.Lanes(nodes)
+	var log strings.Builder
+	build(s, lanes, &log)
+	x := NewExec(s, shards)
+	defer x.Close()
+	x.SerialMin = 0
+	x.Run()
+	return log.String()
+}
+
+// checkIdentity pins executor output against the serial engine for a
+// spread of shard counts, including more shards than nodes (clamped).
+func checkIdentity(t *testing.T, name string, nodes int, build func(s *Sim, lanes []*Lane, log *strings.Builder)) {
+	t.Helper()
+	want := serialTrace(build, nodes)
+	if want == "" {
+		t.Fatalf("%s: scenario produced no events", name)
+	}
+	for _, k := range []int{1, 2, 3, 4, nodes, nodes + 3} {
+		if got := execTrace(t, build, nodes, k); got != want {
+			t.Errorf("%s shards=%d: trace diverges\nserial: %q\nexec:   %q", name, k, want, got)
+		}
+	}
+}
+
+// TestExecEmptyShard: with 4 shards but events on node 0 only, shards 1-3
+// spin on empty work lists every cycle. The barrier must still converge and
+// order must match serial.
+func TestExecEmptyShard(t *testing.T) {
+	checkIdentity(t, "empty-shard", 4, func(s *Sim, lanes []*Lane, log *strings.Builder) {
+		for i := 0; i < 6; i++ {
+			i := i
+			lanes[0].After(Time(1+i), func() { fmt.Fprintf(log, "n0@%d;", s.Now()) })
+		}
+	})
+}
+
+// TestExecAllEventsOneCycle: every node schedules into the same cycle, so
+// one barrier carries the whole run. Commit order must equal the serial
+// FIFO order (node 0 first — scheduling order, not shard order).
+func TestExecAllEventsOneCycle(t *testing.T) {
+	checkIdentity(t, "one-cycle", 8, func(s *Sim, lanes []*Lane, log *strings.Builder) {
+		for i := range lanes {
+			i := i
+			// The log is shared state, so the write is staged via the lane —
+			// exactly how the protocol exposes cross-node effects. Commit
+			// order must equal the serial immediate-execution order.
+			lanes[i].After(5, func() {
+				lanes[i].CallF(func() { fmt.Fprintf(log, "n%d@%d;", i, s.Now()) })
+			})
+		}
+	})
+}
+
+// TestExecCrossShardPingPong: two nodes on different shards bounce an event
+// back and forth. Each leg's handoff follows the lane discipline: the
+// executing node stages a call on its *own* lane, and the committed call
+// schedules onto the peer's lane (staging inactive at commit) — the same
+// shape as a protocol send committing a NoC injection that schedules the
+// delivery on the destination's lane.
+func TestExecCrossShardPingPong(t *testing.T) {
+	checkIdentity(t, "ping-pong", 4, func(s *Sim, lanes []*Lane, log *strings.Builder) {
+		hops := 0
+		var hop func(at int)
+		hop = func(at int) {
+			lanes[at].CallF(func() { fmt.Fprintf(log, "n%d@%d;", at, s.Now()) })
+			hops++
+			if hops >= 12 {
+				return
+			}
+			to := (at + 1) % 2 // nodes 0 and 1: different shards whenever k >= 2
+			lanes[at].CallF(func() { lanes[to].After(1, func() { hop(to) }) })
+		}
+		lanes[0].After(1, func() { hop(0) })
+	})
+}
+
+// TestExecSameCycleCrossShardChain: an event hands off to another shard
+// with zero delay. The staged call commits at the barrier while the clock
+// still reads t and schedules the hop *at t*, so the straggler drain must
+// execute it before the cycle ends — serial does the same via plain FIFO.
+func TestExecSameCycleCrossShardChain(t *testing.T) {
+	checkIdentity(t, "same-cycle-chain", 4, func(s *Sim, lanes []*Lane, log *strings.Builder) {
+		var chain func(at, left int)
+		chain = func(at, left int) {
+			lanes[at].CallF(func() { fmt.Fprintf(log, "n%d@%d;", at, s.Now()) })
+			if left == 0 {
+				return
+			}
+			to := (at + 1) % 4
+			lanes[at].CallF(func() { lanes[to].After(0, func() { chain(to, left-1) }) })
+		}
+		lanes[2].After(3, func() { chain(2, 7) })
+	})
+}
+
+// TestExecStagedCallOrder: immediate cross-shard calls (Lane.Call /
+// Lane.CallF) staged from several owners in one cycle must commit in batch
+// position order, interleaved correctly with staged schedules.
+func TestExecStagedCallOrder(t *testing.T) {
+	checkIdentity(t, "staged-calls", 6, func(s *Sim, lanes []*Lane, log *strings.Builder) {
+		for i := range lanes {
+			i := i
+			lanes[i].After(2, func() {
+				lanes[i].CallF(func() { fmt.Fprintf(log, "run%d;", i) })
+				lanes[i].CallF(func() { fmt.Fprintf(log, "call%d;", i) })
+				lanes[i].After(1, func() {
+					lanes[i].CallF(func() { fmt.Fprintf(log, "next%d@%d;", i, s.Now()) })
+				})
+				lanes[i].CallF(func() { fmt.Fprintf(log, "tail%d;", i) })
+			})
+		}
+	})
+}
+
+// TestExecUnownedMix: unowned events (own=0 — e.g. shared NoC link state)
+// run serially at commit, interleaved with owned events in FIFO order.
+func TestExecUnownedMix(t *testing.T) {
+	checkIdentity(t, "unowned-mix", 4, func(s *Sim, lanes []*Lane, log *strings.Builder) {
+		shared := 0
+		for i := range lanes {
+			i := i
+			lanes[i].After(4, func() {
+				lanes[i].CallF(func() { fmt.Fprintf(log, "own%d;", i) })
+			})
+			lanes[i].AfterUnownedFn(4, func(any) {
+				shared++
+				fmt.Fprintf(log, "shared%d=%d;", i, shared)
+			}, nil)
+		}
+	})
+}
+
+// TestExecLanesMismatchPanics pins the guard against wiring two different
+// node counts onto one Sim.
+func TestExecLanesMismatchPanics(t *testing.T) {
+	s := New()
+	s.Lanes(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Lanes(8) after Lanes(4) should panic")
+		}
+	}()
+	s.Lanes(8)
+}
+
+// TestExecShardClamp: NewExec clamps shard counts above the node count and
+// rejects a Sim without lanes.
+func TestExecShardClamp(t *testing.T) {
+	s := New()
+	s.Lanes(2)
+	x := NewExec(s, 64)
+	if x.k != 2 {
+		t.Fatalf("shards clamped to %d, want 2", x.k)
+	}
+	x.Close()
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewExec without lanes should panic")
+		}
+	}()
+	NewExec(New(), 2)
+}

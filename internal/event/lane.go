@@ -1,0 +1,150 @@
+package event
+
+// This file implements the per-node scheduling lanes of the sharded
+// executor (exec.go; DESIGN.md §16). A Lane is a view of the Sim bound to
+// one mesh node: everything scheduled through it is stamped with that node
+// as owner, and — while the node's shard is in the parallel phase of a
+// cycle — is staged into the shard's buffer instead of touching the shared
+// ring/heap. Outside the parallel phase (the serial engine, the commit
+// phase, straggler drain) every Lane operation degenerates to the plain
+// Sim call, so a run with lanes wired but no executor attached behaves
+// byte-for-byte like one without lanes.
+//
+// Discipline: code executing as node X must schedule only through node X's
+// lane. Staged ops land in the lane's own shard buffer tagged with that
+// shard's current batch position, so touching another node's lane from
+// inside a parallel phase would race with its worker and mistag the op. The
+// protocol and CPU layers satisfy the rule by construction — every event
+// handler is confined to one tile's state, and its outgoing cross-node
+// effects (sends, coordinator calls, completions) go through Call, which
+// defers them to the cycle barrier; the committed call may then use any
+// lane freely, since staging is inactive there.
+
+// stagedOp is one deferred effect recorded during the parallel phase:
+// either a schedule (sched=true: e runs at t) or an immediate call
+// (sched=false: e runs at commit). pos is the batch position of the event
+// that staged it, so the commit phase can interleave each event's effects
+// at exactly the point the serial engine would have produced them.
+type stagedOp struct {
+	pos   int32
+	sched bool
+	t     Time
+	e     ev
+}
+
+// shardCtx is one shard's staging state. The trailing pad keeps adjacent
+// shards' write-hot staging buffers off each other's cache lines (the
+// buffers are appended to concurrently by different workers).
+type shardCtx struct {
+	active bool
+	pos    int32 // batch position of the event currently executing
+	next   int   // commit cursor into ops
+	ops    []stagedOp
+	_      [88]byte // pad to two cache lines
+}
+
+func (c *shardCtx) stage(op stagedOp) {
+	op.pos = c.pos
+	c.ops = append(c.ops, op)
+}
+
+// Lane is a per-node scheduling facade. Obtain lanes via Sim.Lanes.
+type Lane struct {
+	s   *Sim
+	own int32     // owner node + 1
+	ctx *shardCtx // nil until an Exec attaches this node's shard
+}
+
+// Lanes materializes (or returns) the simulator's n per-node lanes. All
+// callers in one run must agree on n — the mesh size is a property of the
+// machine, not of any one subsystem.
+func (s *Sim) Lanes(n int) []*Lane {
+	if s.lanes == nil {
+		s.lanes = make([]*Lane, n)
+		backing := make([]Lane, n)
+		for i := range backing {
+			backing[i] = Lane{s: s, own: int32(i) + 1}
+			s.lanes[i] = &backing[i]
+		}
+	}
+	if len(s.lanes) != n {
+		panic("event: Lanes called with mismatched node counts on one Sim")
+	}
+	return s.lanes
+}
+
+// staging reports whether the lane's shard is in the parallel phase.
+//
+//spcoh:noalloc
+func (l *Lane) staging() bool { return l.ctx != nil && l.ctx.active }
+
+// At schedules fn at absolute time t, owned by the lane's node.
+//
+//spcoh:noalloc
+func (l *Lane) At(t Time, fn Func) {
+	if l.staging() {
+		l.ctx.stage(stagedOp{sched: true, t: t, e: ev{fn: fn, own: l.own}})
+		return
+	}
+	l.s.schedule(t, ev{fn: fn, own: l.own})
+}
+
+// AtFn schedules fn(arg) at absolute time t, owned by the lane's node.
+//
+//spcoh:noalloc
+func (l *Lane) AtFn(t Time, fn ArgFunc, arg any) {
+	if l.staging() {
+		l.ctx.stage(stagedOp{sched: true, t: t, e: ev{pfn: fn, arg: arg, own: l.own}})
+		return
+	}
+	l.s.schedule(t, ev{pfn: fn, arg: arg, own: l.own})
+}
+
+// After schedules fn d cycles from now, owned by the lane's node.
+//
+//spcoh:noalloc
+func (l *Lane) After(d Time, fn Func) { l.At(l.s.now+d, fn) }
+
+// AfterFn schedules fn(arg) d cycles from now, owned by the lane's node.
+//
+//spcoh:noalloc
+func (l *Lane) AfterFn(d Time, fn ArgFunc, arg any) { l.AtFn(l.s.now+d, fn, arg) }
+
+// AfterUnownedFn schedules fn(arg) d cycles from now with no owner: the
+// event executes serially at its cycle's barrier. Used for work that
+// touches cross-node state — NoC injections above all.
+//
+//spcoh:noalloc
+func (l *Lane) AfterUnownedFn(d Time, fn ArgFunc, arg any) {
+	if l.staging() {
+		l.ctx.stage(stagedOp{sched: true, t: l.s.now + d, e: ev{pfn: fn, arg: arg}})
+		return
+	}
+	l.s.schedule(l.s.now+d, ev{pfn: fn, arg: arg})
+}
+
+// Call runs fn(arg) immediately when the lane is not staging, and defers it
+// to the commit phase (in exact serial order) when it is. It is the staging
+// point for every cross-shard effect an owned event produces: message
+// injection, coordinator operations, run-level completion callbacks.
+//
+//spcoh:noalloc
+func (l *Lane) Call(fn ArgFunc, arg any) {
+	if l.staging() {
+		l.ctx.stage(stagedOp{e: ev{pfn: fn, arg: arg}})
+		return
+	}
+	fn(arg)
+}
+
+// CallF is Call for a plain func() — allocation-free when the callback is
+// an existing funcvalue (e.g. a bound completion callback).
+//
+//spcoh:noalloc
+func (l *Lane) CallF(fn Func) {
+	if l.staging() {
+		l.ctx.stage(stagedOp{e: ev{fn: fn}})
+		return
+	}
+	fn()
+}

@@ -13,6 +13,7 @@ import (
 	"spcoh/internal/core"
 	"spcoh/internal/event"
 	"spcoh/internal/predictor"
+	"spcoh/internal/protocol"
 	"spcoh/internal/runcfg"
 	"spcoh/internal/scenario"
 	"spcoh/internal/sim"
@@ -115,6 +116,24 @@ func protect[T any](key string, fn func() (T, error)) (val T, err error) {
 	return fn()
 }
 
+// options builds the sim options every pass of this runner shares: the
+// machine sized to the configured thread count (the paper's 16-node mesh
+// stays the default; other counts select the matching square mesh), the
+// fidelity mode, and the executor shard count.
+func (r *Runner) options() (sim.Options, error) {
+	opt := sim.DefaultOptions()
+	if r.Cfg.Threads != opt.Machine.Nodes {
+		m, err := protocol.ConfigFor(r.Cfg.Threads)
+		if err != nil {
+			return opt, fmt.Errorf("experiments: %w", err)
+		}
+		opt.Machine = m
+	}
+	opt.Mode = sim.Mode(r.Cfg.Mode)
+	opt.Shards = r.Cfg.Shards
+	return opt, nil
+}
+
 func (r *Runner) program(bench string) (*workload.Program, error) {
 	if r.Spec != nil && bench == r.Spec.Name {
 		return r.programs.do("spec:"+r.Spec.Digest(), func() (*workload.Program, error) {
@@ -196,10 +215,12 @@ func (r *Runner) book(bench string) (*core.OracleBook, error) {
 			return nil, err
 		}
 		b := core.NewOracleBook()
-		opt := sim.DefaultOptions()
 		// The profiling pass runs at the same fidelity as the measurement
 		// run: an oracle cell stays self-consistent within one mode.
-		opt.Mode = sim.Mode(r.Cfg.Mode)
+		opt, err := r.options()
+		if err != nil {
+			return nil, err
+		}
 		opt.Predictors = core.RecorderSystem(core.DefaultConfig(r.Cfg.Threads), b)
 		if _, err := sim.Run(prog, opt); err != nil {
 			return nil, fmt.Errorf("experiments: oracle profiling %s: %w", bench, err)
@@ -216,9 +237,11 @@ func (r *Runner) Run(bench, kind string) (*sim.Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		opt := sim.DefaultOptions()
+		opt, err := r.options()
+		if err != nil {
+			return nil, err
+		}
 		opt.MetricsEpoch = event.Time(r.Cfg.MetricsEpoch)
-		opt.Mode = sim.Mode(r.Cfg.Mode)
 		if kind == "bcast" {
 			opt.Protocol = sim.Broadcast
 		} else {
@@ -245,7 +268,13 @@ func (r *Runner) Analysis(bench string) (*charac.Analysis, error) {
 			return nil, err
 		}
 		col := &trace.Collector{}
-		opt := sim.DefaultOptions()
+		opt, err := r.options()
+		if err != nil {
+			return nil, err
+		}
+		// The §3.2 methodology is a detailed-fidelity trace run regardless of
+		// the cell mode (as before the shared options helper).
+		opt.Mode = ""
 		opt.Tracer = col
 		if _, err := sim.Run(prog, opt); err != nil {
 			return nil, fmt.Errorf("experiments: trace %s: %w", bench, err)

@@ -69,7 +69,7 @@ func TestChecksAgainstFixtures(t *testing.T) {
 	}{
 		{"maprange", 4},
 		{"wallclock", 8},
-		{"goroutine", 5},
+		{"goroutine", 6},
 		{"floatorder", 4},
 		{"exhaustive", 1},
 		{"noalloc", 3},

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"spcoh/internal/arch"
+	"spcoh/internal/event"
 	"spcoh/internal/predictor"
 )
 
@@ -45,33 +46,44 @@ type dirLine struct {
 // DirSlice is one tile's directory slice. Lines are materialized lazily:
 // an absent entry means dirU.
 type DirSlice struct {
-	sys   *System
-	self  arch.NodeID
+	sys  *System
+	self arch.NodeID
+	// ln is the tile's scheduling lane (shared with the tile's Node): all
+	// slice-confined schedules go through it, stamping self as owner.
+	ln    *event.Lane
 	lines map[arch.LineAddr]*dirLine
 
-	// memo short-circuits the map lookup for the line touched last: one
-	// transaction hits the same entry several times (request, forwards,
-	// unblock, accounting messages), and in fast mode the whole cascade
-	// does. Entries are never removed from lines, so the pointer cannot go
-	// stale.
-	memoAddr arch.LineAddr
-	memoLine *dirLine
+	// memo is a small direct-mapped front for the lines map: one transaction
+	// hits the same entry several times (request, forwards, unblock,
+	// accounting messages), and on big meshes many transactions on distinct
+	// lines interleave, which a single-entry memo thrashes on. Entries are
+	// never removed from lines, so the pointers cannot go stale.
+	memo [dirMemoSize]dirMemoEnt
+}
+
+const dirMemoSize = 64 // power of two; ~1KB per slice
+
+type dirMemoEnt struct {
+	addr arch.LineAddr
+	line *dirLine
 }
 
 func newDirSlice(sys *System, self arch.NodeID) *DirSlice {
 	return &DirSlice{sys: sys, self: self, lines: make(map[arch.LineAddr]*dirLine)}
 }
 
+//spcoh:noalloc
 func (d *DirSlice) line(l arch.LineAddr) *dirLine {
-	if d.memoLine != nil && d.memoAddr == l {
-		return d.memoLine
+	m := &d.memo[uint64(l)&(dirMemoSize-1)]
+	if m.line != nil && m.addr == l {
+		return m.line
 	}
 	e, ok := d.lines[l]
 	if !ok {
-		e = &dirLine{state: dirU, owner: arch.None, fwd: arch.None, pendingSupplier: arch.None}
+		e = &dirLine{state: dirU, owner: arch.None, fwd: arch.None, pendingSupplier: arch.None} //spvet:allow noalloc -- lazy line materialization, once per line ever touched
 		d.lines[l] = e
 	}
-	d.memoAddr, d.memoLine = l, e
+	m.addr, m.line = l, e
 	return e
 }
 
@@ -150,7 +162,7 @@ func fireDirGet(a any) {
 	g := a.(*dirGet)
 	d, e, m := g.d, g.e, g.m
 	g.d, g.e = nil, nil
-	d.sys.getPool = append(d.sys.getPool, g)
+	d.sys.pools[d.self].get = append(d.sys.pools[d.self].get, g)
 	if m.Kind == MsgGetS {
 		d.processGetS(e, m)
 	} else {
@@ -162,10 +174,11 @@ func fireDirGet(a any) {
 func (d *DirSlice) startGet(e *dirLine, m Msg) {
 	e.busy = true
 	s := d.sys
+	pool := &s.pools[d.self].get
 	var g *dirGet
-	if k := len(s.getPool); k > 0 {
-		g = s.getPool[k-1]
-		s.getPool = s.getPool[:k-1]
+	if k := len(*pool); k > 0 {
+		g = (*pool)[k-1]
+		*pool = (*pool)[:k-1]
 		g.d, g.e, g.m = d, e, m
 	} else {
 		g = &dirGet{d: d, e: e, m: m}
@@ -174,7 +187,7 @@ func (d *DirSlice) startGet(e *dirLine, m Msg) {
 		s.casc.After(s.Cfg.DirLatency, fireDirGet, g)
 		return
 	}
-	s.Sim.AfterFn(s.Cfg.DirLatency, fireDirGet, g)
+	d.ln.AfterFn(s.Cfg.DirLatency, fireDirGet, g)
 }
 
 // reply sends a message originating at this directory slice.
@@ -199,7 +212,7 @@ func fireMemFetch(a any) {
 	f := a.(*memFetch)
 	d, m, excl, acks := f.d, f.m, f.excl, f.acks
 	f.d = nil
-	d.sys.memPool = append(d.sys.memPool, f)
+	d.sys.pools[d.self].mem = append(d.sys.pools[d.self].mem, f)
 	d.reply(Msg{
 		Kind: MsgData, Dst: m.Requester, Line: m.Line, Requester: m.Requester,
 		Excl: excl, FromMem: true, AckCount: acks, MissKind: m.MissKind,
@@ -210,10 +223,11 @@ func fireMemFetch(a any) {
 // requester. The line stays busy until the requester unblocks.
 func (d *DirSlice) memData(m Msg, excl bool, acks int) {
 	s := d.sys
+	pool := &s.pools[d.self].mem
 	var f *memFetch
-	if k := len(s.memPool); k > 0 {
-		f = s.memPool[k-1]
-		s.memPool = s.memPool[:k-1]
+	if k := len(*pool); k > 0 {
+		f = (*pool)[k-1]
+		*pool = (*pool)[:k-1]
 		f.d, f.m, f.excl, f.acks = d, m, excl, acks
 	} else {
 		f = &memFetch{d: d, m: m, excl: excl, acks: acks}
@@ -222,7 +236,7 @@ func (d *DirSlice) memData(m Msg, excl bool, acks int) {
 		s.casc.After(s.Cfg.MemLatency, fireMemFetch, f)
 		return
 	}
-	s.Sim.AfterFn(s.Cfg.MemLatency, fireMemFetch, f)
+	d.ln.AfterFn(s.Cfg.MemLatency, fireMemFetch, f)
 }
 
 // processGetS services a read miss. The directory determines, from its own

@@ -49,12 +49,12 @@ func TestSmallMachine(t *testing.T) {
 }
 
 func TestConfigForRejectsNonSquare(t *testing.T) {
-	for _, n := range []int{0, 5, 7, 100} {
+	for _, n := range []int{0, 5, 7, 12, 200, 1024} {
 		if _, err := protocol.ConfigFor(n); err == nil {
 			t.Errorf("ConfigFor(%d) should error", n)
 		}
 	}
-	for _, n := range []int{1, 4, 16, 64} {
+	for _, n := range []int{1, 4, 16, 64, 100, 256} {
 		cfg, err := protocol.ConfigFor(n)
 		if err != nil {
 			t.Errorf("ConfigFor(%d): %v", n, err)

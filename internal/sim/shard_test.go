@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"encoding/json"
+	"testing"
+
+	"spcoh/internal/protocol"
+	"spcoh/internal/scenario"
+	"spcoh/internal/workload"
+)
+
+// runJSON executes one seeded run and returns its canonical serialized
+// result — "output bytes" in the sense of the determinism contract.
+func runJSON(t *testing.T, prog *workload.Program, opt Options) []byte {
+	t.Helper()
+	res, err := Run(prog, opt)
+	if err != nil {
+		t.Fatalf("run %s (shards=%d): %v", prog.Name, opt.Shards, err)
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestShardByteIdentityAllProfiles pins the executor's core contract:
+// every builtin profile, at two seeds, produces byte-identical results at
+// shard counts 1, 2 and 4.
+func TestShardByteIdentityAllProfiles(t *testing.T) {
+	names := workload.Names()
+	if len(names) < 17 {
+		t.Fatalf("expected >= 17 builtin profiles, got %d", len(names))
+	}
+	for _, name := range names {
+		p, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, seed := range []int64{1, 2} {
+			opt := DefaultOptions()
+			opt.Shards = 1
+			ref := runJSON(t, p.Build(16, 0.08, seed), opt)
+			for _, k := range []int{2, 4} {
+				opt.Shards = k
+				got := runJSON(t, p.Build(16, 0.08, seed), opt)
+				if string(got) != string(ref) {
+					t.Errorf("%s seed=%d: shards=%d diverges from serial\nserial: %s\nshards: %s",
+						name, seed, k, ref, got)
+				}
+			}
+		}
+	}
+}
+
+// TestShardSweepGeneratedScenario runs a generated (fuzzed) scenario spec
+// across shard counts 1/2/4/8 and demands identical bytes throughout.
+func TestShardSweepGeneratedScenario(t *testing.T) {
+	spec := scenario.Generate(42, scenario.GenOptions{})
+	prog, err := workload.FromSpec(spec, 16, 0.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.Shards = 1
+	ref := runJSON(t, prog, opt)
+	for _, k := range []int{2, 4, 8} {
+		prog, err = workload.FromSpec(spec, 16, 0.1, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt.Shards = k
+		if got := runJSON(t, prog, opt); string(got) != string(ref) {
+			t.Errorf("generated scenario: shards=%d diverges from serial", k)
+		}
+	}
+}
+
+// TestShardBigMesh exercises the scaled machines the executor exists for:
+// an 8x8 and a 16x16 mesh, serial vs sharded, byte-identical.
+func TestShardBigMesh(t *testing.T) {
+	if testing.Short() {
+		t.Skip("big-mesh identity is slow")
+	}
+	p, err := workload.ByName("ocean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nodes := range []int{64, 256} {
+		cfg, err := protocol.ConfigFor(nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := DefaultOptions()
+		opt.Machine = cfg
+		opt.Shards = 1
+		ref := runJSON(t, p.Build(nodes, 0.02, 3), opt)
+		opt.Shards = 4
+		got := runJSON(t, p.Build(nodes, 0.02, 3), opt)
+		if string(got) != string(ref) {
+			t.Errorf("%d-node mesh: shards=4 diverges from serial", nodes)
+		}
+	}
+}
+
+// TestShardMaxCyclesParity pins that the budget path (MaxCycles) behaves
+// identically under the executor — including the abort error.
+func TestShardMaxCyclesParity(t *testing.T) {
+	p, _ := workload.ByName("ocean")
+	opt := DefaultOptions()
+	opt.Shards = 4
+	opt.MaxCycles = 100
+	if _, err := Run(p.Build(16, 0.2, 1), opt); err == nil {
+		t.Fatal("expected MaxCycles abort under the sharded executor")
+	}
+	opt.MaxCycles = 1 << 40
+	opt.Shards = 1
+	ref := runJSON(t, p.Build(16, 0.1, 1), opt)
+	opt.Shards = 4
+	if got := runJSON(t, p.Build(16, 0.1, 1), opt); string(got) != string(ref) {
+		t.Fatal("generous MaxCycles: sharded result diverges from serial")
+	}
+}

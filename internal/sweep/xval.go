@@ -79,6 +79,19 @@ type XvalTiming struct {
 	ExecutedPairs int     `json:"executed_pairs"`
 }
 
+// XvalEscalationRun is the detailed-mode rerun of one escalated cell
+// (`spsweep xval -escalate`): the authoritative numbers to cite in place
+// of that cell's fast-mode results.
+type XvalEscalationRun struct {
+	Key            string  `json:"key"`
+	Cycles         uint64  `json:"cycles"`
+	Misses         uint64  `json:"misses"`
+	Accuracy       float64 `json:"accuracy"`
+	AvgMissLatency float64 `json:"avg_miss_latency"`
+	NetBytes       uint64  `json:"net_bytes"`
+	Err            string  `json:"error,omitempty"`
+}
+
 // XvalReport is the full cross-validation report, serialized to
 // results/BENCH_xval.json by `spsweep xval`.
 type XvalReport struct {
@@ -89,6 +102,32 @@ type XvalReport struct {
 	Cells       []XvalCell  `json:"cells"`
 	Escalations []string    `json:"escalations"`
 	Timing      *XvalTiming `json:"timing,omitempty"`
+
+	// EscalationRuns carries the detailed-mode rerun of every escalated
+	// cell when the xval was invoked with -escalate; omitted otherwise, so
+	// pre-escalation report bytes are unchanged.
+	EscalationRuns []XvalEscalationRun `json:"escalation_runs,omitempty"`
+}
+
+// FoldEscalations attaches the detailed-mode escalation rerun to the
+// report. esc's jobs are the escalated cells in key order, so the folded
+// section is as deterministic as the rest of the report.
+func (r *XvalReport) FoldEscalations(esc *Report) {
+	for i := range esc.Jobs {
+		jr := &esc.Jobs[i]
+		run := XvalEscalationRun{Key: jr.Job.Key()}
+		switch {
+		case jr.Err != nil:
+			run.Err = jr.Err.Error()
+		case jr.Result != nil:
+			run.Cycles = uint64(jr.Result.Cycles)
+			run.Misses = jr.Result.Misses()
+			run.Accuracy = jr.Result.Nodes.Accuracy()
+			run.AvgMissLatency = jr.Result.AvgMissLatency()
+			run.NetBytes = jr.Result.Net.Bytes
+		}
+		r.EscalationRuns = append(r.EscalationRuns, run)
+	}
 }
 
 // Xval pairs a detailed-mode report with the fast-mode report of the same
@@ -238,6 +277,20 @@ func (r *XvalReport) FormatTable(w io.Writer) {
 	tw.Flush()
 	fmt.Fprintf(w, "cells: %d, escalations: %d (threshold %g)\n",
 		len(r.Cells), len(r.Escalations), r.Threshold)
+	if len(r.EscalationRuns) > 0 {
+		fmt.Fprintln(w, "escalation reruns (detailed mode — cite these for escalated cells):")
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "CELL\tCYCLES\tMISSES\tACC\tMISSLAT\tNETKB")
+		for _, e := range r.EscalationRuns {
+			if e.Err != "" {
+				fmt.Fprintf(tw, "%s\t-\t-\t-\t-\tFAILED: %s\n", e.Key, e.Err)
+				continue
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%.4f\t%.1f\t%d\n",
+				e.Key, e.Cycles, e.Misses, e.Accuracy, e.AvgMissLatency, e.NetBytes/1024)
+		}
+		tw.Flush()
+	}
 	if r.Timing != nil {
 		fmt.Fprintf(w, "timing: detailed %.1fs, fast %.1fs, speedup %.2fx over %d executed pairs\n",
 			r.Timing.DetailedSeconds, r.Timing.FastSeconds, r.Timing.Speedup, r.Timing.ExecutedPairs)

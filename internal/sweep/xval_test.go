@@ -89,3 +89,63 @@ func TestXvalPairing(t *testing.T) {
 		t.Errorf("unpaired cell not escalated: %+v", orphan.Cells[0])
 	}
 }
+
+// TestXvalEscalationFold: -escalate's fold step attaches the detailed
+// rerun numbers under escalation_runs (in the rerun's key order, errors
+// carried through), renders the reruns section in the table, and leaves
+// a report without escalations byte-free of the section — so the
+// pre-escalation JSON shape is unchanged.
+func TestXvalEscalationFold(t *testing.T) {
+	m := sweep.Matrix{
+		Benches: []string{"ocean"},
+		Kinds:   []string{"sp"},
+		Seeds:   []int64{42},
+		Scales:  []float64{0.05},
+		Threads: 16,
+	}
+	det := sweep.Run(context.Background(), m.Jobs(), realCell, sweep.Options{Workers: 1})
+
+	// Without escalations, the JSON must not mention the section at all.
+	clean := sweep.Xval(det, det, 0.25) // det vs det: zero divergence... except /fast pairing
+	var buf bytes.Buffer
+	if err := clean.FormatJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte("escalation_runs")) {
+		t.Errorf("escalation_runs present in a report that was never folded:\n%s", buf.String())
+	}
+
+	rep := sweep.Xval(det, det, 0.25)
+	rep.FoldEscalations(det)
+	if len(rep.EscalationRuns) != len(det.Jobs) {
+		t.Fatalf("folded %d runs, want %d", len(rep.EscalationRuns), len(det.Jobs))
+	}
+	run := rep.EscalationRuns[0]
+	res := det.Jobs[0].Result
+	if run.Key != det.Jobs[0].Job.Key() {
+		t.Errorf("run key = %q, want %q", run.Key, det.Jobs[0].Job.Key())
+	}
+	if run.Cycles != uint64(res.Cycles) || run.Misses != res.Misses() || run.NetBytes != res.Net.Bytes {
+		t.Errorf("folded numbers diverge from the rerun result: %+v", run)
+	}
+	buf.Reset()
+	rep.FormatTable(&buf)
+	if !bytes.Contains(buf.Bytes(), []byte("escalation reruns")) {
+		t.Errorf("table missing the escalation reruns section:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := rep.FormatJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"escalation_runs"`)) {
+		t.Errorf("JSON missing escalation_runs after folding:\n%s", buf.String())
+	}
+
+	// A failed rerun is carried as its error string, not dropped.
+	failed := &sweep.Report{Jobs: []sweep.JobResult{{Job: det.Jobs[0].Job, Err: context.DeadlineExceeded}}}
+	rep2 := sweep.Xval(det, det, 0.25)
+	rep2.FoldEscalations(failed)
+	if len(rep2.EscalationRuns) != 1 || rep2.EscalationRuns[0].Err == "" {
+		t.Errorf("failed rerun not folded with its error: %+v", rep2.EscalationRuns)
+	}
+}

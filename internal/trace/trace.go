@@ -98,7 +98,10 @@ func (w *Writer) Write(e *Event) error {
 		w.uv(e.PC)
 		w.uv(uint64(e.MissKind))
 		w.uv(uint64(e.Provider + 1)) // None (-1) encodes as 0
-		w.uv(uint64(e.Invalidated))
+		// The binary format stores one 64-bit word of invalidation targets;
+		// traces are captured on the paper's 16-node machine, far below the
+		// word boundary.
+		w.uv(e.Invalidated.Bits64())
 		if e.Communicating {
 			w.uv(1)
 		} else {
@@ -172,7 +175,7 @@ func (r *Reader) Next() (*Event, error) {
 		e.PC = rd()
 		e.MissKind = predictor.MissKind(rd())
 		e.Provider = arch.NodeID(rd()) - 1
-		e.Invalidated = arch.SharerSet(rd())
+		e.Invalidated = arch.SetFromBits64(rd())
 		e.Communicating = rd() != 0
 	case EvSync:
 		e.SyncKind = predictor.SyncKind(rd())

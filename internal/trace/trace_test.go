@@ -25,7 +25,7 @@ func sampleEvents(n int, seed int64) []*Event {
 			out[i] = &Event{Kind: EvMiss, Cycle: event.Time(rng.Intn(1 << 20)),
 				Node: arch.NodeID(rng.Intn(16)), Line: arch.LineAddr(rng.Uint64() >> 30),
 				PC: uint64(rng.Intn(1 << 22)), MissKind: predictor.MissKind(rng.Intn(3)),
-				Provider: prov, Invalidated: arch.SharerSet(rng.Uint64() & 0xFFFF),
+				Provider: prov, Invalidated: arch.SetFromBits64(rng.Uint64() & 0xFFFF),
 				Communicating: rng.Intn(2) == 0}
 		}
 	}
